@@ -1,0 +1,54 @@
+"""A4 — ablation: classical optimizer choice (§4 uses COBYLA).
+
+Compares COBYLA (the paper's optimizer), SPSA and Nelder-Mead on the same
+QAOA instances under an equal evaluation budget: final energy F_p and
+extracted cut quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit_report, paper_scale
+
+from repro.experiments.report import format_series_table
+from repro.graphs import erdos_renyi, exact_maxcut_bruteforce
+from repro.qaoa import QAOASolver
+
+
+def run_optimizer_ablation(n_seeds: int, budget: int):
+    optimizers = ("cobyla", "spsa", "nelder-mead")
+    energy_ratio = {o: [] for o in optimizers}
+    cut_ratio = {o: [] for o in optimizers}
+    for seed in range(n_seeds):
+        graph = erdos_renyi(12, 0.3, rng=seed + 200)
+        exact = exact_maxcut_bruteforce(graph).cut
+        if exact == 0:
+            continue
+        for opt in optimizers:
+            result = QAOASolver(
+                layers=3, optimizer=opt, maxiter=budget, selection="topk",
+                rng=seed,
+            ).solve(graph)
+            energy_ratio[opt].append(result.energy / exact)
+            cut_ratio[opt].append(result.cut / exact)
+    return optimizers, energy_ratio, cut_ratio
+
+
+def test_optimizer_ablation(once):
+    n_seeds = 12 if paper_scale() else 5
+    budget = 60
+    optimizers, energy, cut = once(run_optimizer_ablation, n_seeds, budget)
+    emit_report(
+        "ablation_optimizer",
+        format_series_table(
+            "metric", ["mean_energy/opt", "mean_cut/opt"],
+            {o: [float(np.mean(energy[o])), float(np.mean(cut[o]))] for o in optimizers},
+            title=f"A4: optimizer comparison at {budget} evaluations (p=3)",
+        ),
+    )
+    for opt in optimizers:
+        assert np.mean(cut[opt]) > 0.7  # every backend produces sane cuts
+    # COBYLA (the paper's pick) should be competitive with the others.
+    assert np.mean(energy["cobyla"]) >= max(
+        np.mean(energy["spsa"]), np.mean(energy["nelder-mead"])
+    ) - 0.1

@@ -1,0 +1,54 @@
+"""E5 — Fig. 4: QAOA² scaling with sub-graph method mixes.
+
+Five series over growing node counts at edge probability 0.1: Random,
+Classic (all-GW sub-graphs), QAOA (all-QAOA, best over a parameter grid),
+Best (per-sub-graph winner) and GW on the full graph, reported relative to
+the QAOA series.  Published shape to verify: GW-full on top until its
+abnormal termination, QAOA²-variants clustered within a few percent,
+Best marginally ahead, Random clearly worst.
+
+Paper scale: N∈{500..2500}, GW failure injected at >2000 nodes.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_report, paper_scale
+
+from repro.experiments import (
+    ScalingConfig,
+    paper_scale_scaling_config,
+    run_scaling_experiment,
+)
+from repro.hpc.executor import ExecutorConfig
+
+
+def _config() -> ScalingConfig:
+    if paper_scale():
+        return paper_scale_scaling_config(
+            executor=ExecutorConfig(backend="process"), rng=0
+        )
+    return ScalingConfig(
+        node_counts=(60, 120, 180),
+        edge_prob=0.1,
+        n_max_qubits=10,
+        qaoa_options={"layers": 2, "maxiter": 25},
+        qaoa_grid=[{"rhobeg": 0.3}, {"rhobeg": 0.5}, {"layers": 3, "rhobeg": 0.5}],
+        executor=ExecutorConfig(backend="thread", max_workers=4),
+        rng=0,
+    )
+
+
+def test_fig4_scaling(once):
+    result = once(run_scaling_experiment, _config())
+    emit_report(
+        "fig4_qaoa2_scaling",
+        result.format_table()
+        + f"\n\nsub-problems per QAOA run: {result.subproblems}",
+    )
+    rel = result.relative_to_qaoa()
+    # Qualitative shape assertions (the paper's Fig. 4 ordering).
+    for i in range(len(result.config.node_counts)):
+        assert rel["Random"][i] < 1.0  # random clearly below QAOA²
+        if rel["GW"][i] is not None:
+            assert rel["GW"][i] > rel["Random"][i]
+        assert rel["Best"][i] >= min(rel["Classic"][i], 1.0) - 0.05

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the numerical kernels (true pytest-benchmark use).
+
+These are the hot loops the guides say to profile: statevector gate
+application, the diagonal QAOA layer, cut-diagonal construction, SDP
+sweeps and GW rounding.  Regressions here slow every experiment above.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classical.gw import hyperplane_rounding
+from repro.classical.sdp import solve_sdp_mixing
+from repro.graphs import cut_diagonal, erdos_renyi
+from repro.qaoa import MaxCutEnergy
+from repro.quantum.gates import rx
+from repro.quantum.statevector import (
+    apply_one_qubit,
+    apply_rx_layer,
+    plus_state,
+)
+
+N_QUBITS = 16
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(N_QUBITS, 0.3, rng=0)
+
+
+@pytest.fixture(scope="module")
+def state():
+    return plus_state(N_QUBITS)
+
+
+def test_kernel_single_qubit_gate(benchmark, state):
+    matrix = rx(0.3)
+    benchmark(apply_one_qubit, state, matrix, N_QUBITS // 2)
+
+
+def test_kernel_rx_layer(benchmark, state):
+    benchmark(lambda: apply_rx_layer(state.copy(), 0.3))
+
+
+def test_kernel_diagonal_phase(benchmark, graph, state):
+    diag = cut_diagonal(graph)
+    benchmark(lambda: state * np.exp(-0.4j * diag))
+
+
+def test_kernel_cut_diagonal(benchmark, graph):
+    benchmark(cut_diagonal, graph)
+
+
+def test_kernel_qaoa_expectation(benchmark, graph):
+    energy = MaxCutEnergy(graph)
+    params = np.array([0.3, 0.5, 0.2, 0.4])
+    result = benchmark(energy.expectation, params)
+    assert 0 <= result <= graph.total_weight
+
+
+def test_kernel_sdp_mixing(benchmark):
+    graph = erdos_renyi(200, 0.1, rng=1)
+    result = benchmark.pedantic(
+        lambda: solve_sdp_mixing(graph, rng=0), rounds=3, iterations=1
+    )
+    assert result.objective > 0
+
+
+def test_kernel_gw_rounding(benchmark):
+    graph = erdos_renyi(200, 0.1, rng=1)
+    sdp = solve_sdp_mixing(graph, rng=0)
+    benchmark(hyperplane_rounding, sdp.vectors, 0)

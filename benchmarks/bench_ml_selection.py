@@ -1,0 +1,75 @@
+"""A6 — extension: ML method selection (§2, ref. [35]).
+
+Moussa et al. report 96% accuracy predicting the better of QAOA/GW from
+graph features (at smaller qubit counts than their study).  Trains our
+logistic-regression selector on grid-search outcomes and reports holdout
+accuracy plus the QAOA² cut achieved when the classifier drives the
+per-sub-graph method choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit_report, paper_scale
+
+from repro.experiments import GridSearchConfig, run_grid_search
+from repro.experiments.report import format_kv_block
+from repro.graphs import erdos_renyi
+from repro.hpc.executor import ExecutorConfig
+from repro.ml import MethodClassifier, extract_features, train_test_split
+from repro.qaoa2 import ClassifierPolicy, QAOA2Solver
+
+
+def run_ml_selection():
+    scale = paper_scale()
+    grid = run_grid_search(
+        GridSearchConfig(
+            node_counts=tuple(range(8, 14)) if scale else (8, 10, 12),
+            edge_probs=(0.1, 0.2, 0.3, 0.4, 0.5) if scale else (0.1, 0.3, 0.5),
+            layers_grid=(2, 3),
+            rhobeg_grid=(0.3, 0.5),
+            executor=ExecutorConfig(backend="thread", max_workers=4),
+            rng=0,
+        )
+    )
+    rng = np.random.default_rng(1)
+    features, labels = [], []
+    for rec in grid.records:
+        g = erdos_renyi(
+            rec.n_nodes, rec.edge_probability, weighted=rec.weighted,
+            rng=int(rng.integers(2**31)),
+        )
+        features.append(extract_features(g))
+        labels.append(int(rec.qaoa_win))
+    x, y = np.array(features), np.array(labels)
+    xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.25, rng=2)
+    clf = MethodClassifier()
+    clf.fit_features(xtr, ytr, rng=3)
+    accuracy = clf.model.accuracy(clf.scaler.transform(xte), yte)
+    majority = max(float(np.mean(yte)), 1.0 - float(np.mean(yte)))
+
+    graph = erdos_renyi(60, 0.12, rng=50)
+    driven = QAOA2Solver(
+        n_max_qubits=10,
+        subgraph_method=ClassifierPolicy(clf),
+        qaoa_options={"layers": 2, "maxiter": 20},
+        rng=0,
+    ).solve(graph)
+    return {
+        "n_train": len(xtr),
+        "n_test": len(xte),
+        "holdout_accuracy": accuracy,
+        "majority_baseline": majority,
+        "qaoa2_cut_with_classifier": driven.cut,
+        "method_mix": str(driven.method_counts()),
+    }
+
+
+def test_ml_method_selection(once):
+    metrics = once(run_ml_selection)
+    emit_report(
+        "ml_selection",
+        format_kv_block("A6: learned QAOA-vs-GW selection", metrics),
+    )
+    assert 0.0 <= metrics["holdout_accuracy"] <= 1.0
+    assert metrics["qaoa2_cut_with_classifier"] > 0

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs at laptop scale by default and prints the paper-style
+table it regenerates.  Set ``REPRO_PAPER_SCALE=1`` to run the published
+parameter ranges (documented per bench; some take hours and the Table-1
+tier additionally needs tens of GiB).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a paper-style table AND persist it under benchmarks/reports/.
+
+    pytest captures stdout on passing tests, so the artifact file is the
+    durable record cited by EXPERIMENTS.md.
+    """
+    print()
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (experiments are not
+    micro-benchmarks; repeating a minutes-long sweep is pointless)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""A scaled-down Fig. 3: grid search over QAOA parameterisations vs GW.
+
+Sweeps (node count × edge probability) instance cells and a
+(layers × rhobeg) QAOA parameter grid; for every cell the QAOA MaxCut
+value (top-amplitude bitstring) is compared against the GW 30-slice
+average, producing the paper's three proportion tables and the
+"most successful parameter combination" readout (the paper finds
+(rhobeg=0.5, p=6) at full scale).
+
+Run:  python examples/gw_vs_qaoa_gridsearch.py          (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.experiments import GridSearchConfig, run_grid_search
+from repro.hpc.executor import ExecutorConfig
+
+
+def main() -> None:
+    config = GridSearchConfig(
+        node_counts=(8, 10, 12),
+        edge_probs=(0.1, 0.3, 0.5),
+        layers_grid=(2, 3, 4),
+        rhobeg_grid=(0.1, 0.3, 0.5),
+        executor=ExecutorConfig(backend="thread", max_workers=4),
+        rng=0,
+    )
+    cells = (
+        len(config.node_counts) * len(config.edge_probs) * 2
+    )
+    grid_points = len(config.layers_grid) * len(config.rhobeg_grid)
+    print(
+        f"sweeping {cells} instance cells x {grid_points} grid points "
+        f"({cells * grid_points} QAOA runs + {cells} GW runs)..."
+    )
+    result = run_grid_search(config)
+    print(f"done in {result.elapsed:.1f}s\n")
+    print(result.format_fig3())
+
+    rho, layers = result.best_gridpoint()
+    print(
+        f"\nmost successful parameter combination: rhobeg={rho}, p={layers}"
+        f"  (paper, full scale: rhobeg=0.5, p=6)"
+    )
+
+    # The knowledge base the paper derives from this search (§4):
+    kb = result.to_knowledge_base()
+    for n in config.node_counts:
+        for p in config.edge_probs:
+            rate = kb.win_rate(n, p, False)
+            marker = "QAOA" if (rate or 0) >= 0.5 else "GW"
+            print(f"  n={n:>3} p={p:.1f}: QAOA win rate {rate:.2f} -> use {marker}")
+
+
+if __name__ == "__main__":
+    main()

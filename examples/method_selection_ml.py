@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""ML-driven method selection (the paper's §2/§5 outlook, ref. [35]).
+
+The paper positions its workflow as "a testbed to train and test such
+selection mechanisms".  This example exercises the full loop:
+
+1. run a grid search (Fig. 3 style) to label instances QAOA-wins / GW-wins,
+2. train the from-scratch logistic-regression selector on graph features,
+3. report holdout accuracy against the majority baseline,
+4. plug the trained classifier into QAOA² as the per-sub-graph run-time
+   policy (§3.6) and compare against static policies.
+
+Run:  python examples/method_selection_ml.py          (~1-2 minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import GridSearchConfig, run_grid_search
+from repro.graphs import erdos_renyi
+from repro.hpc.executor import ExecutorConfig
+from repro.ml import MethodClassifier, extract_features, train_test_split
+from repro.qaoa2 import ClassifierPolicy, DensityPolicy, QAOA2Solver
+
+
+def main() -> None:
+    print("step 1: building the labelled dataset from a grid search...")
+    grid = run_grid_search(
+        GridSearchConfig(
+            node_counts=(8, 9, 10, 11, 12),
+            edge_probs=(0.1, 0.2, 0.3, 0.4, 0.5),
+            layers_grid=(2, 3),
+            rhobeg_grid=(0.3, 0.5),
+            executor=ExecutorConfig(backend="thread", max_workers=4),
+            rng=0,
+        )
+    )
+    rng = np.random.default_rng(1)
+    features, labels = [], []
+    for rec in grid.records:
+        graph = erdos_renyi(
+            rec.n_nodes, rec.edge_probability, weighted=rec.weighted,
+            rng=int(rng.integers(2**31)),
+        )
+        features.append(extract_features(graph))
+        labels.append(int(rec.qaoa_win))
+    x, y = np.array(features), np.array(labels)
+    print(f"  {len(x)} labelled rows, QAOA-wins rate {y.mean():.2f}")
+
+    print("step 2: training the logistic-regression selector...")
+    xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.25, rng=2)
+    clf = MethodClassifier()
+    clf.fit_features(xtr, ytr, rng=3)
+    accuracy = clf.model.accuracy(clf.scaler.transform(xte), yte)
+    majority = max(yte.mean(), 1 - yte.mean())
+    print(
+        f"  holdout accuracy {accuracy:.2%} vs majority baseline "
+        f"{majority:.2%}  (Moussa et al. report 96% at their scale)"
+    )
+
+    print("step 3: driving QAOA² with the learned policy...")
+    graph = erdos_renyi(80, 0.1, rng=99)
+    policies = {
+        "classifier": ClassifierPolicy(clf),
+        "density-rule": DensityPolicy(threshold=0.3),
+        "always-gw": "gw",
+        "always-qaoa": "qaoa",
+    }
+    for name, policy in policies.items():
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method=policy,
+            qaoa_options={"layers": 2, "maxiter": 25},
+            executor=ExecutorConfig(backend="thread", max_workers=4),
+            rng=0,
+        ).solve(graph)
+        print(
+            f"  {name:<12s} cut = {result.cut:7.1f}   mix = {result.method_counts()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

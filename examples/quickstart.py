@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: solve one MaxCut instance with every solver in the repo.
+
+Generates a small Erdős–Rényi graph (the paper's instance family), solves
+it with QAOA (paper §3.2), Goemans-Williamson (§3.4), recursive QAOA,
+simulated annealing and exact brute force, and prints a comparison — the
+smallest possible version of the paper's §4 methodology.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    QAOASolver,
+    erdos_renyi,
+    exact_maxcut,
+    goemans_williamson,
+    rqaoa_solve,
+    simulated_annealing,
+)
+from repro.graphs import random_cut
+
+
+def main() -> None:
+    # One unweighted G(n=14, p=0.3) instance, seeded for reproducibility.
+    graph = erdos_renyi(14, 0.3, rng=7)
+    print(f"instance: {graph}  total weight = {graph.total_weight:.0f}")
+
+    exact = exact_maxcut(graph)
+    print(f"\nexact optimum (brute force):        {exact.cut:6.1f}")
+
+    # QAOA with the paper's most successful parameterisation style:
+    # COBYLA, higher rhobeg, p = 6 layers, solution = best of top-k
+    # amplitudes (the improvement suggested in §5).
+    qaoa = QAOASolver(
+        layers=6, rhobeg=0.5, optimizer="cobyla", selection="topk", rng=0
+    ).solve(graph)
+    print(
+        f"QAOA (p=6, rhobeg=0.5, COBYLA):     {qaoa.cut:6.1f}"
+        f"   F_p = {qaoa.energy:.2f}, {qaoa.nfev} evaluations"
+    )
+
+    # Goemans-Williamson: SDP + 30 hyperplane slices (paper §3.4).
+    gw = goemans_williamson(graph, rng=0)
+    print(
+        f"GW (30 slices):                     {gw.best_cut:6.1f}"
+        f"   slice average = {gw.average_cut:.2f}, SDP bound = {gw.sdp_objective:.2f}"
+    )
+
+    rqaoa = rqaoa_solve(graph, n_cutoff=7, layers=2, rng=0)
+    print(f"recursive QAOA (cutoff 7):          {rqaoa.cut:6.1f}")
+
+    sa = simulated_annealing(graph, rng=0)
+    print(f"simulated annealing:                {sa.cut:6.1f}")
+
+    rnd = random_cut(graph, rng=0)
+    print(f"random partition:                   {rnd.cut:6.1f}")
+
+    print(
+        f"\napproximation ratios vs exact: "
+        f"QAOA {qaoa.cut / exact.cut:.3f}, GW {gw.best_cut / exact.cut:.3f}, "
+        f"GW-avg {gw.average_cut / exact.cut:.3f}"
+    )
+    print(
+        "paper comparison rule (§3.4): QAOA single value vs GW slice average"
+        f" -> {'QAOA strictly better' if qaoa.cut > gw.average_cut else 'GW at least as good'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of "Hybrid Classical-Quantum Simulation of MaxCut
+using QAOA-in-QAOA" (Esposito & Danzig, IPPS 2024, arXiv:2406.17383).
+
+The package implements the paper's full stack from scratch on NumPy/SciPy:
+
+* :mod:`repro.graphs`   — weighted graphs, generators, MaxCut utilities,
+  greedy-modularity partitioning (the QAOA² divide step).
+* :mod:`repro.quantum`  — statevector simulator (local + cache-blocked
+  distributed), circuit IR, Ising Hamiltonians.
+* :mod:`repro.synth`    — Classiq-style model-to-optimized-circuit synthesis.
+* :mod:`repro.optim`    — COBYLA (the paper's optimizer), SPSA, Nelder-Mead.
+* :mod:`repro.qaoa`     — the QAOA MaxCut solver and recursive-QAOA extension.
+* :mod:`repro.classical`— Goemans-Williamson with from-scratch SDP solvers,
+  simulated annealing, exact solvers.
+* :mod:`repro.qaoa2`    — QAOA-in-QAOA divide-and-conquer (the contribution).
+* :mod:`repro.hpc`      — MPI-like communicator, executors, SLURM-like
+  workload-manager simulator, coordinator/worker scheme.
+* :mod:`repro.ml`       — QAOA-vs-GW method selection (features, classifier,
+  knowledge base).
+* :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart
+----------
+>>> from repro import erdos_renyi, QAOASolver, goemans_williamson, QAOA2Solver
+>>> graph = erdos_renyi(12, 0.3, rng=7)
+>>> qaoa_cut = QAOASolver(layers=3, rng=0).solve(graph).cut
+>>> gw_cut = goemans_williamson(graph, rng=0).best_cut
+"""
+
+from repro.classical import (
+    GWResult,
+    goemans_williamson,
+    simulated_annealing,
+    solve_maxcut_gw,
+)
+from repro.graphs import (
+    CutResult,
+    Graph,
+    cut_value,
+    erdos_renyi,
+    exact_maxcut,
+    partition_with_cap,
+    random_cut,
+)
+from repro.qaoa import MaxCutEnergy, QAOAResult, QAOASolver, rqaoa_solve
+from repro.qaoa2 import (
+    DensityPolicy,
+    QAOA2Result,
+    QAOA2Solver,
+)
+from repro.quantum import (
+    Circuit,
+    DistributedStatevector,
+    IsingHamiltonian,
+    StatevectorSimulator,
+)
+from repro.synth import CombinatorialModel, Preferences, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "erdos_renyi",
+    "cut_value",
+    "random_cut",
+    "exact_maxcut",
+    "partition_with_cap",
+    "CutResult",
+    "QAOASolver",
+    "QAOAResult",
+    "MaxCutEnergy",
+    "rqaoa_solve",
+    "goemans_williamson",
+    "solve_maxcut_gw",
+    "GWResult",
+    "simulated_annealing",
+    "QAOA2Solver",
+    "QAOA2Result",
+    "DensityPolicy",
+    "Circuit",
+    "StatevectorSimulator",
+    "DistributedStatevector",
+    "IsingHamiltonian",
+    "CombinatorialModel",
+    "Preferences",
+    "synthesize",
+]

@@ -1,0 +1,17 @@
+"""Exact MaxCut solvers, re-exported from the graph substrate.
+
+The paper's related work notes exact methods remain limited in node count
+versus GW; these serve as ground truth for tests and small benchmarks.
+"""
+
+from repro.graphs.maxcut import (
+    exact_maxcut,
+    exact_maxcut_branch_and_bound,
+    exact_maxcut_bruteforce,
+)
+
+__all__ = [
+    "exact_maxcut",
+    "exact_maxcut_bruteforce",
+    "exact_maxcut_branch_and_bound",
+]

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment drivers so the paper's
+workflow can be driven from a shell (or a SLURM batch script) without
+writing Python:
+
+* ``solve``       — solve one instance (qaoa | gw | qaoa2 | anneal | exact)
+* ``gridsearch``  — the Fig. 3 sweep, printing the three proportion panels
+* ``scaling``     — the Fig. 4 QAOA² method-mix experiment
+* ``hetjobs``     — the Fig. 1 workload-manager comparison
+* ``coordinator`` — the Fig. 2 coordinator/worker scaling run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.io import read_edgelist
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.graph_file:
+        return read_edgelist(args.graph_file)
+    return erdos_renyi(
+        args.nodes, args.edge_prob, weighted=args.weighted, rng=args.seed
+    )
+
+
+def _add_instance_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=40, help="ER node count")
+    parser.add_argument("--edge-prob", type=float, default=0.1, help="ER edge probability")
+    parser.add_argument("--weighted", action="store_true", help="U[0,1] edge weights")
+    parser.add_argument("--graph-file", type=str, default=None,
+                        help="read instance from an edge-list file instead")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(f"instance: {graph}")
+    if args.method == "qaoa":
+        from repro.qaoa import QAOASolver
+
+        result = QAOASolver(
+            layers=args.layers, rhobeg=args.rhobeg, selection=args.selection,
+            rng=args.seed,
+        ).solve(graph)
+        print(f"QAOA cut = {result.cut:.4f}  (F_p = {result.energy:.4f}, "
+              f"{result.nfev} evaluations)")
+    elif args.method == "gw":
+        from repro.classical import goemans_williamson
+
+        gw = goemans_williamson(graph, rng=args.seed)
+        print(f"GW best = {gw.best_cut:.4f}, 30-slice average = "
+              f"{gw.average_cut:.4f}, SDP bound = {gw.sdp_objective:.4f}")
+    elif args.method == "qaoa2":
+        from repro.qaoa2 import QAOA2Solver
+
+        result = QAOA2Solver(
+            n_max_qubits=args.qubits,
+            subgraph_method=args.subgraph_method,
+            qaoa_options={"layers": args.layers, "rhobeg": args.rhobeg},
+            rng=args.seed,
+        ).solve(graph)
+        print(f"QAOA² cut = {result.cut:.4f}  ({result.n_subproblems} "
+              f"sub-problems, methods {result.method_counts()})")
+    elif args.method == "anneal":
+        from repro.classical import SimulatedAnnealerSampler
+
+        result = SimulatedAnnealerSampler().sample_maxcut(
+            graph, num_reads=10, rng=args.seed
+        )
+        print(f"annealer (QUBO) cut = {result.cut:.4f}")
+    elif args.method == "exact":
+        from repro.graphs import exact_maxcut
+
+        result = exact_maxcut(graph)
+        print(f"exact cut = {result.cut:.4f} ({result.method})")
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.method)
+    return 0
+
+
+def cmd_gridsearch(args: argparse.Namespace) -> int:
+    from repro.experiments import GridSearchConfig, run_grid_search
+    from repro.hpc.executor import ExecutorConfig
+
+    config = GridSearchConfig(
+        node_counts=tuple(args.node_counts),
+        edge_probs=tuple(args.edge_probs),
+        layers_grid=tuple(args.layers_grid),
+        rhobeg_grid=tuple(args.rhobeg_grid),
+        executor=ExecutorConfig(backend=args.backend),
+        rng=args.seed,
+    )
+    result = run_grid_search(config)
+    print(result.format_fig3())
+    rho, layers = result.best_gridpoint()
+    print(f"\nmost successful grid point: rhobeg={rho}, p={layers}")
+    if args.save_kb:
+        result.to_knowledge_base().save(args.save_kb)
+        print(f"knowledge base written to {args.save_kb}")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments import ScalingConfig, run_scaling_experiment
+    from repro.hpc.executor import ExecutorConfig
+
+    config = ScalingConfig(
+        node_counts=tuple(args.node_counts),
+        edge_prob=args.edge_prob,
+        n_max_qubits=args.qubits,
+        qaoa_options={"layers": args.layers, "maxiter": args.maxiter},
+        gw_fail_above=args.gw_fail_above,
+        executor=ExecutorConfig(backend=args.backend),
+        rng=args.seed,
+    )
+    result = run_scaling_experiment(config)
+    print(result.format_table())
+    return 0
+
+
+def cmd_hetjobs(args: argparse.Namespace) -> int:
+    from repro.experiments import run_hetjob_experiment
+
+    result = run_hetjob_experiment(
+        n_jobs=args.jobs,
+        classical_pre=args.classical_pre,
+        quantum=args.quantum,
+        classical_post=args.classical_post,
+        cpus=args.cpus,
+        qpus=args.qpus,
+    )
+    print(result.format_report())
+    return 0
+
+
+def cmd_coordinator(args: argparse.Namespace) -> int:
+    from repro.experiments import run_coordinator_scaling
+
+    result = run_coordinator_scaling(
+        worker_counts=tuple(args.workers),
+        n_nodes=args.nodes,
+        edge_prob=args.edge_prob,
+        n_max_qubits=args.qubits,
+        method=args.subgraph_method,
+        qaoa_options={"layers": args.layers, "maxiter": args.maxiter},
+        rng=args.seed,
+    )
+    print(result.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QAOA-in-QAOA MaxCut reproduction (Esposito & Danzig, 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one MaxCut instance")
+    _add_instance_args(p_solve)
+    p_solve.add_argument("--method", choices=("qaoa", "gw", "qaoa2", "anneal", "exact"),
+                         default="qaoa2")
+    p_solve.add_argument("--qubits", type=int, default=10, help="QAOA² qubit budget")
+    p_solve.add_argument("--layers", type=int, default=3)
+    p_solve.add_argument("--rhobeg", type=float, default=0.5)
+    p_solve.add_argument("--selection", choices=("top1", "topk", "sampled"),
+                         default="top1")
+    p_solve.add_argument("--subgraph-method", choices=("qaoa", "gw", "best"),
+                         default="best")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_grid = sub.add_parser("gridsearch", help="the Fig. 3 sweep")
+    p_grid.add_argument("--node-counts", type=int, nargs="+", default=[8, 10, 12])
+    p_grid.add_argument("--edge-probs", type=float, nargs="+", default=[0.1, 0.3, 0.5])
+    p_grid.add_argument("--layers-grid", type=int, nargs="+", default=[2, 3])
+    p_grid.add_argument("--rhobeg-grid", type=float, nargs="+", default=[0.3, 0.5])
+    p_grid.add_argument("--backend", choices=("serial", "thread", "process"),
+                        default="thread")
+    p_grid.add_argument("--save-kb", type=str, default=None,
+                        help="write the knowledge base JSON here")
+    p_grid.add_argument("--seed", type=int, default=0)
+    p_grid.set_defaults(func=cmd_gridsearch)
+
+    p_scale = sub.add_parser("scaling", help="the Fig. 4 experiment")
+    p_scale.add_argument("--node-counts", type=int, nargs="+", default=[60, 120, 180])
+    p_scale.add_argument("--edge-prob", type=float, default=0.1)
+    p_scale.add_argument("--qubits", type=int, default=10)
+    p_scale.add_argument("--layers", type=int, default=3)
+    p_scale.add_argument("--maxiter", type=int, default=40)
+    p_scale.add_argument("--gw-fail-above", type=int, default=None)
+    p_scale.add_argument("--backend", choices=("serial", "thread", "process"),
+                         default="thread")
+    p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.set_defaults(func=cmd_scaling)
+
+    p_het = sub.add_parser("hetjobs", help="the Fig. 1 scheduling comparison")
+    p_het.add_argument("--jobs", type=int, default=3)
+    p_het.add_argument("--classical-pre", type=float, default=4.0)
+    p_het.add_argument("--quantum", type=float, default=1.0)
+    p_het.add_argument("--classical-post", type=float, default=2.0)
+    p_het.add_argument("--cpus", type=int, default=4)
+    p_het.add_argument("--qpus", type=int, default=1)
+    p_het.set_defaults(func=cmd_hetjobs)
+
+    p_coord = sub.add_parser("coordinator", help="the Fig. 2 scaling run")
+    p_coord.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    p_coord.add_argument("--nodes", type=int, default=60)
+    p_coord.add_argument("--edge-prob", type=float, default=0.1)
+    p_coord.add_argument("--qubits", type=int, default=10)
+    p_coord.add_argument("--layers", type=int, default=3)
+    p_coord.add_argument("--maxiter", type=int, default=40)
+    p_coord.add_argument("--subgraph-method", choices=("qaoa", "gw", "best"),
+                         default="qaoa")
+    p_coord.add_argument("--seed", type=int, default=0)
+    p_coord.set_defaults(func=cmd_coordinator)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Quantitative paper-vs-measured comparison utilities.
+
+Given a measured :class:`~repro.experiments.gridsearch.GridSearchResult`
+(or raw proportion matrices) and the transcribed published tables in
+:mod:`repro.experiments.paperdata`, these helpers compute the agreement
+statistics quoted in EXPERIMENTS.md: mean absolute difference, rank
+correlation of the density profile, and the boolean shape checks the
+paper's prose makes ("advantage at small edge probabilities", "higher
+rhobeg/layers more successful", "wins rarer at the large tier").
+
+Only meaningful when the measured sweep covers the published axes (i.e.
+``REPRO_PAPER_SCALE=1`` runs); laptop-tier sweeps use the boolean shape
+checks alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments import paperdata
+
+
+def mean_abs_difference(measured: np.ndarray, published: np.ndarray) -> float:
+    """Mean |measured − published| over cells both define (NaN-safe)."""
+    measured = np.asarray(measured, dtype=np.float64)
+    published = np.asarray(published, dtype=np.float64)
+    if measured.shape != published.shape:
+        raise ValueError(
+            f"shape mismatch {measured.shape} vs {published.shape}; "
+            "run the sweep on the published axes"
+        )
+    mask = ~(np.isnan(measured) | np.isnan(published))
+    if not mask.any():
+        raise ValueError("no overlapping cells")
+    return float(np.abs(measured[mask] - published[mask]).mean())
+
+
+def rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation over the flattened, co-defined cells."""
+    from scipy import stats
+
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    mask = ~(np.isnan(a) | np.isnan(b))
+    if mask.sum() < 3:
+        raise ValueError("need at least 3 overlapping cells")
+    rho, _ = stats.spearmanr(a[mask], b[mask])
+    return float(rho)
+
+
+def density_profile(matrix: np.ndarray) -> np.ndarray:
+    """Column means — the win-rate profile over edge probabilities."""
+    return np.nanmean(np.asarray(matrix, dtype=np.float64), axis=0)
+
+
+def low_density_advantage(matrix: np.ndarray) -> float:
+    """Mean(win | low p) − mean(win | high p); positive reproduces the
+    paper's 'partial advantage at small edge connection probabilities'."""
+    profile = density_profile(matrix)
+    k = max(1, len(profile) // 2 - 1)
+    return float(np.nanmean(profile[:k + 1]) - np.nanmean(profile[-k - 1:]))
+
+
+@dataclass
+class Fig3Comparison:
+    """Shape-level agreement summary for one weighting class."""
+
+    weighted: bool
+    measured_advantage: float
+    published_advantage: float
+    advantage_sign_agrees: bool
+    mean_abs_diff: Optional[float] = None
+    rank_corr: Optional[float] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"Fig3 ({'weighted' if self.weighted else 'unweighted'}):",
+            f"  low-density advantage: measured {self.measured_advantage:+.3f}"
+            f" vs published {self.published_advantage:+.3f}"
+            f" -> sign {'AGREES' if self.advantage_sign_agrees else 'DIFFERS'}",
+        ]
+        if self.mean_abs_diff is not None:
+            lines.append(f"  mean |Δ proportion|: {self.mean_abs_diff:.3f}")
+        if self.rank_corr is not None:
+            lines.append(f"  Spearman rank corr:  {self.rank_corr:+.3f}")
+        return "\n".join(lines)
+
+
+def compare_fig3(grid_result, *, weighted: bool) -> Fig3Comparison:
+    """Compare a measured grid search against the published Fig. 3(a).
+
+    Cell-level statistics are only computed when the measured axes match
+    the published ones exactly; otherwise the shape booleans alone are
+    returned (laptop-tier behaviour).
+    """
+    measured = grid_result.proportions_by_graph(weighted=weighted, mode="strict")
+    published = paperdata.fig3a(weighted)
+    measured_adv = low_density_advantage(measured)
+    published_adv = low_density_advantage(published)
+    comparison = Fig3Comparison(
+        weighted=weighted,
+        measured_advantage=measured_adv,
+        published_advantage=published_adv,
+        advantage_sign_agrees=(measured_adv > 0) == (published_adv > 0),
+    )
+    axes_match = (
+        tuple(grid_result.config.node_counts) == paperdata.FIG3_NODE_COUNTS
+        and tuple(grid_result.config.edge_probs) == paperdata.FIG3_EDGE_PROBS
+    )
+    if axes_match:
+        comparison.mean_abs_diff = mean_abs_difference(measured, published)
+        comparison.rank_corr = rank_correlation(measured, published)
+    return comparison
+
+
+def compare_table1(table1_result) -> Dict[str, float]:
+    """Mean strict-win proportions, measured vs published Table 1.
+
+    Works across tiers (the node counts differ by design); the comparison
+    is between *means*, quantifying the "wins are less frequent" claim.
+    """
+    measured = table1_result.proportions("strict")
+    return {
+        "measured_mean_win": float(np.mean(list(measured.values()))),
+        "published_mean_win": float(
+            np.mean(list(paperdata.TABLE1_STRICT.values()))
+        ),
+        "published_fig3_mean_win": float(paperdata.FIG3A_UNWEIGHTED.mean()),
+    }
+
+
+__all__ = [
+    "mean_abs_difference",
+    "rank_correlation",
+    "density_profile",
+    "low_density_advantage",
+    "Fig3Comparison",
+    "compare_fig3",
+    "compare_table1",
+]

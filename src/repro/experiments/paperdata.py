@@ -1,0 +1,180 @@
+"""The paper's published results, transcribed as data.
+
+Digitised from arXiv:2406.17383v2: the four Fig. 3(a)/(b) heat tables, the
+two Fig. 3(c) grid-point tables, Table 1 and the qualitative Fig. 4
+ordering.  Used by EXPERIMENTS.md tooling to compare our regenerated
+tables against the published ones, and by tests asserting that the
+transcription is internally consistent (shapes, value ranges, the
+"most successful grid point" claim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+# Axes of Fig. 3(a)/(b): node counts 15..25 (rows) x edge probs 0.1..0.5.
+FIG3_NODE_COUNTS: Tuple[int, ...] = tuple(range(15, 26))
+FIG3_EDGE_PROBS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+# Fig. 3(a): proportions of cases where QAOA is strictly better than GW.
+FIG3A_UNWEIGHTED = np.array([
+    [0.067, 0.67, 0.067, 0.23, 0.17],
+    [0.67, 0.5, 0.53, 0.23, 0.17],
+    [0.033, 0.53, 0.43, 0.37, 0.1],
+    [0.3, 0.47, 0.5, 0.33, 0.067],
+    [0.033, 0.23, 0.37, 0.2, 0.033],
+    [0.5, 0.57, 0.23, 0.033, 0.067],
+    [0.5, 0.47, 0.13, 0.13, 0.033],
+    [0.5, 0.5, 0.2, 0.067, 0.033],
+    [0.53, 0.17, 0.3, 0.033, 0.0],
+    [0.1, 0.27, 0.033, 0.1, 0.033],
+    [0.33, 0.1, 0.13, 0.0, 0.033],
+])
+
+FIG3A_WEIGHTED = np.array([
+    [0.1, 0.57, 0.1, 0.23, 0.1],
+    [0.63, 0.5, 0.67, 0.33, 0.1],
+    [0.033, 0.6, 0.33, 0.3, 0.13],
+    [0.33, 0.57, 0.43, 0.33, 0.067],
+    [0.067, 0.37, 0.4, 0.27, 0.067],
+    [0.5, 0.3, 0.27, 0.067, 0.067],
+    [0.37, 0.23, 0.2, 0.0, 0.067],
+    [0.57, 0.5, 0.1, 0.033, 0.067],
+    [0.57, 0.17, 0.27, 0.033, 0.0],
+    [0.13, 0.2, 0.13, 0.0, 0.0],
+    [0.33, 0.17, 0.033, 0.067, 0.0],
+])
+
+# Fig. 3(b): proportions where QAOA reaches [95, 100)% of GW.
+FIG3B_UNWEIGHTED = np.array([
+    [0.53, 0.17, 0.43, 0.1, 0.2],
+    [0.033, 0.2, 0.067, 0.1, 0.13],
+    [0.83, 0.1, 0.13, 0.13, 0.13],
+    [0.43, 0.2, 0.033, 0.17, 0.13],
+    [0.77, 0.33, 0.13, 0.1, 0.1],
+    [0.47, 0.1, 0.033, 0.067, 0.13],
+    [0.3, 0.33, 0.1, 0.067, 0.1],
+    [0.27, 0.23, 0.067, 0.033, 0.067],
+    [0.13, 0.27, 0.1, 0.13, 0.067],
+    [0.3, 0.13, 0.17, 0.067, 0.033],
+    [0.33, 0.27, 0.1, 0.033, 0.0],
+])
+
+FIG3B_WEIGHTED = np.array([
+    [0.47, 0.17, 0.37, 0.033, 0.1],
+    [0.033, 0.37, 0.067, 0.1, 0.23],
+    [0.73, 0.033, 0.13, 0.0, 0.17],
+    [0.47, 0.2, 0.033, 0.13, 0.13],
+    [0.73, 0.27, 0.1, 0.1, 0.1],
+    [0.4, 0.17, 0.1, 0.13, 0.067],
+    [0.47, 0.5, 0.17, 0.067, 0.17],
+    [0.17, 0.13, 0.23, 0.1, 0.13],
+    [0.23, 0.3, 0.1, 0.067, 0.033],
+    [0.2, 0.13, 0.13, 0.2, 0.0],
+    [0.33, 0.27, 0.1, 0.1, 0.0],
+])
+
+# Fig. 3(c): rows rhobeg 0.1..0.5, cols layers 3..8 (strict-win proportions
+# per grid point, normalised over the 55 graphs of each weighting class).
+FIG3C_RHOBEGS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+FIG3C_LAYERS: Tuple[int, ...] = (3, 4, 5, 6, 7, 8)
+
+FIG3C_UNWEIGHTED = np.array([
+    [0.036, 0.036, 0.33, 0.091, 0.018, 0.073],
+    [0.036, 0.27, 0.45, 0.35, 0.11, 0.25],
+    [0.036, 0.35, 0.38, 0.38, 0.16, 0.25],
+    [0.13, 0.29, 0.4, 0.49, 0.2, 0.31],
+    [0.11, 0.31, 0.35, 0.51, 0.29, 0.33],
+])
+
+FIG3C_WEIGHTED = np.array([
+    [0.018, 0.091, 0.36, 0.15, 0.018, 0.073],
+    [0.036, 0.22, 0.44, 0.2, 0.091, 0.18],
+    [0.073, 0.18, 0.45, 0.38, 0.091, 0.27],
+    [0.073, 0.35, 0.42, 0.49, 0.24, 0.29],
+    [0.16, 0.25, 0.42, 0.47, 0.31, 0.33],
+])
+
+# Table 1: {(nodes, weighted, edge_prob): proportion}.
+TABLE1_STRICT: Dict[Tuple[int, bool, float], float] = {
+    (30, True, 0.1): 0.1, (30, True, 0.2): 0.1,
+    (30, False, 0.1): 0.167, (30, False, 0.2): 0.0,
+    (31, True, 0.1): 0.267, (31, True, 0.2): 0.033,
+    (31, False, 0.1): 0.0, (31, False, 0.2): 0.067,
+    (32, True, 0.1): 0.1, (32, True, 0.2): 0.033,
+    (32, False, 0.1): 0.1, (32, False, 0.2): 0.0,
+    (33, True, 0.1): 0.033, (33, True, 0.2): 0.033,
+    (33, False, 0.1): 0.167, (33, False, 0.2): 0.033,
+}
+
+TABLE1_BAND95: Dict[Tuple[int, bool, float], float] = {
+    (30, True, 0.1): 0.133, (30, True, 0.2): 0.2,
+    (30, False, 0.1): 0.33, (30, False, 0.2): 0.1,
+    (31, True, 0.1): 0.1, (31, True, 0.2): 0.1,
+    (31, False, 0.1): 0.2, (31, False, 0.2): 0.033,
+    (32, True, 0.1): 0.167, (32, True, 0.2): 0.067,
+    (32, False, 0.1): 0.167, (32, False, 0.2): 0.133,
+    (33, True, 0.1): 0.067, (33, True, 0.2): 0.167,
+    (33, False, 0.1): 0.2, (33, False, 0.2): 0.067,
+}
+
+# Fig. 4: node counts and the qualitative facts the text states.
+FIG4_NODE_COUNTS: Tuple[int, ...] = (500, 1000, 1500, 2000, 2500)
+FIG4_GW_FAILURE_ABOVE: int = 2000
+# "GW applied to the full graph is superior ... up to 2000 nodes" and
+# "diminishes steadily compared to QAOA2 for larger node counts";
+# "choosing the best ... yields slightly better results"; "all methods are
+# better than a random cut".
+FIG4_ORDERING = ("Random < QAOA2-variants", "Best >= max(Classic-ish, QAOA)",
+                 "GW-full > QAOA2 while it runs")
+
+# §4 text: most successful parameter combination at the Fig. 3 scale.
+BEST_GRID_POINT: Tuple[float, int] = (0.5, 6)  # (rhobeg, layers)
+
+# §4 text: 33-qubit simulation cost.
+QUBITS_33_RUNTIME_MIN: float = 10.0
+QUBITS_33_NODES: int = 512
+QUBITS_33_LAYERS: int = 8
+
+
+def fig3a(weighted: bool) -> np.ndarray:
+    return FIG3A_WEIGHTED if weighted else FIG3A_UNWEIGHTED
+
+
+def fig3b(weighted: bool) -> np.ndarray:
+    return FIG3B_WEIGHTED if weighted else FIG3B_UNWEIGHTED
+
+
+def fig3c(weighted: bool) -> np.ndarray:
+    return FIG3C_WEIGHTED if weighted else FIG3C_UNWEIGHTED
+
+
+def published_low_density_advantage(weighted: bool) -> float:
+    """Mean strict-win proportion at p=0.1-0.2 minus p=0.4-0.5 — positive
+    means the paper's 'QAOA advantage at small edge probabilities'."""
+    a = fig3a(weighted)
+    return float(a[:, :2].mean() - a[:, 3:].mean())
+
+
+def published_best_gridpoint(weighted: bool) -> Tuple[float, int]:
+    """argmax of Fig. 3(c) — the paper identifies (0.5, 6)."""
+    c = fig3c(weighted)
+    i, j = np.unravel_index(int(np.argmax(c)), c.shape)
+    return FIG3C_RHOBEGS[i], FIG3C_LAYERS[j]
+
+
+__all__ = [
+    "FIG3_NODE_COUNTS", "FIG3_EDGE_PROBS",
+    "FIG3A_UNWEIGHTED", "FIG3A_WEIGHTED",
+    "FIG3B_UNWEIGHTED", "FIG3B_WEIGHTED",
+    "FIG3C_RHOBEGS", "FIG3C_LAYERS",
+    "FIG3C_UNWEIGHTED", "FIG3C_WEIGHTED",
+    "TABLE1_STRICT", "TABLE1_BAND95",
+    "FIG4_NODE_COUNTS", "FIG4_GW_FAILURE_ABOVE", "FIG4_ORDERING",
+    "BEST_GRID_POINT", "QUBITS_33_RUNTIME_MIN", "QUBITS_33_NODES",
+    "QUBITS_33_LAYERS",
+    "fig3a", "fig3b", "fig3c",
+    "published_low_density_advantage", "published_best_gridpoint",
+]

@@ -1,0 +1,100 @@
+"""Paper-style table formatting for experiment outputs.
+
+The paper reports proportions with two significant digits (e.g. ``0.067``,
+``0.53``); these helpers render the same matrix layouts as Fig. 3's heat
+tables, Table 1 and Fig. 4's series so bench output can be compared to the
+paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def fmt_proportion(value: Optional[float]) -> str:
+    """Two-significant-digit formatting matching the paper's tables."""
+    if value is None or (isinstance(value, float) and np.isnan(value)):
+        return "  -  "
+    if value == 0:
+        return "0"
+    return f"{value:.2g}"
+
+
+def format_heat_table(
+    row_labels: Sequence,
+    col_labels: Sequence,
+    values: np.ndarray,
+    *,
+    title: str = "",
+    row_header: str = "Node Counts",
+    col_header: str = "Edge Probabilities",
+) -> str:
+    """Render a (rows × cols) proportion matrix like Fig. 3's panels."""
+    values = np.asarray(values, dtype=np.float64)
+    cells = [[fmt_proportion(v) if not np.isnan(v) else "-" for v in row] for row in values]
+    col_width = max(
+        6,
+        max((len(c) for row in cells for c in row), default=1) + 1,
+        max(len(str(c)) for c in col_labels) + 1,
+    )
+    label_width = max(len(str(r)) for r in row_labels) + 2
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{row_header} \\ {col_header}")
+    header = " " * label_width + "".join(f"{str(c):>{col_width}}" for c in col_labels)
+    lines.append(header)
+    for label, row in zip(row_labels, cells):
+        lines.append(
+            f"{str(label):<{label_width}}" + "".join(f"{c:>{col_width}}" for c in row)
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[Optional[float]]],
+    *,
+    title: str = "",
+    fmt: str = "{:.4f}",
+) -> str:
+    """Render named series over a shared x axis (Fig. 4 layout)."""
+    names = list(series)
+    col_width = max(10, max(len(n) for n in names) + 2)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:<12}" + "".join(f"{n:>{col_width}}" for n in names)
+    lines.append(header)
+    for i, x in enumerate(x_values):
+        row = [f"{str(x):<12}"]
+        for name in names:
+            v = series[name][i]
+            row.append(
+                f"{'-':>{col_width}}" if v is None else f"{fmt.format(v):>{col_width}}"
+            )
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, items: Mapping[str, object]) -> str:
+    """Simple aligned key/value block for workflow metrics."""
+    width = max(len(k) for k in items) + 1
+    lines = [title] if title else []
+    for key, value in items.items():
+        if isinstance(value, float):
+            lines.append(f"  {key:<{width}} {value:.4f}")
+        else:
+            lines.append(f"  {key:<{width}} {value}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "fmt_proportion",
+    "format_heat_table",
+    "format_series_table",
+    "format_kv_block",
+]

@@ -1,0 +1,119 @@
+"""Named benchmark instance families (Gset-style synthetic suite).
+
+The MaxCut literature benchmarks on the Gset collection (rudy-generated
+random, toroidal and planar-ish graphs) and on ±1-weighted families.  This
+module provides deterministic named instances in those styles so results
+can be referenced by name ("g05_60_0") across runs and machines — the
+conclusion's "other graph types and partitions including more statistics"
+outlook needs exactly this.
+
+Families
+--------
+* ``g05_N_s``  — unweighted G(N, 0.5) (the classic g05 series).
+* ``pm1d_N_s`` — dense ±1 weights (G(N, 0.99), w ∈ {−1, +1}).
+* ``pm1s_N_s`` — sparse ±1 weights (G(N, 0.1), w ∈ {−1, +1}).
+* ``wd_N_s``   — dense integer weights in [−10, 10] \\ {0}.
+* ``torus_K_s``— 2D torus (K×K grid with wraparound), ±1 weights.
+* ``er_N_p_s`` — plain Erdős–Rényi with explicit edge probability.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import erdos_renyi
+from repro.util.rng import ensure_rng
+
+_NAME_RE = re.compile(
+    r"^(?P<family>g05|pm1d|pm1s|wd|torus|er)_(?P<size>\d+)"
+    r"(?:_(?P<p>0\.\d+))?_(?P<seed>\d+)$"
+)
+
+
+def _pm1_weights(gen: np.random.Generator, m: int) -> np.ndarray:
+    return gen.choice((-1.0, 1.0), size=m)
+
+
+def _torus(k: int, gen: np.random.Generator) -> Graph:
+    n = k * k
+    edges: List[Tuple[int, int, float]] = []
+    for r in range(k):
+        for c in range(k):
+            i = r * k + c
+            right = r * k + (c + 1) % k
+            down = ((r + 1) % k) * k + c
+            if i != right:
+                edges.append((i, right, float(gen.choice((-1.0, 1.0)))))
+            if i != down:
+                edges.append((i, down, float(gen.choice((-1.0, 1.0)))))
+    return Graph.from_edges(n, edges)
+
+
+def load_instance(name: str) -> Graph:
+    """Materialise a named instance deterministically.
+
+    Examples: ``g05_60_0``, ``pm1s_80_3``, ``torus_8_1``, ``er_50_0.2_7``.
+    """
+    match = _NAME_RE.match(name)
+    if not match:
+        raise ValueError(
+            f"unknown instance name {name!r}; expected e.g. 'g05_60_0', "
+            "'pm1d_40_1', 'torus_8_0', 'er_50_0.2_7'"
+        )
+    family = match.group("family")
+    size = int(match.group("size"))
+    p_str = match.group("p")
+    seed = int(match.group("seed"))
+    # Deterministic seed derivation: family and size salt the stream.
+    salt = sum(ord(ch) for ch in family) * 1_000_003 + size * 7919 + seed
+    gen = ensure_rng(salt)
+    if family == "g05":
+        return erdos_renyi(size, 0.5, rng=gen)
+    if family == "pm1d":
+        base = erdos_renyi(size, 0.99, rng=gen)
+        return base.with_weights(_pm1_weights(gen, base.n_edges))
+    if family == "pm1s":
+        base = erdos_renyi(size, 0.1, rng=gen)
+        return base.with_weights(_pm1_weights(gen, base.n_edges))
+    if family == "wd":
+        base = erdos_renyi(size, 0.5, rng=gen)
+        weights = gen.integers(1, 11, size=base.n_edges).astype(np.float64)
+        weights *= gen.choice((-1.0, 1.0), size=base.n_edges)
+        return base.with_weights(weights)
+    if family == "torus":
+        return _torus(size, gen)
+    if family == "er":
+        if p_str is None:
+            raise ValueError("er instances need a probability: er_N_p_seed")
+        return erdos_renyi(size, float(p_str), rng=gen)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def standard_suite(*, tier: str = "small") -> Dict[str, Graph]:
+    """A fixed named suite per tier (used by sweep drivers and docs).
+
+    ``small`` fits exact verification (N ≤ 20); ``medium`` fits the QAOA²
+    benches (N ≤ 120).
+    """
+    if tier == "small":
+        names = [
+            "g05_14_0", "g05_14_1",
+            "pm1d_12_0", "pm1s_16_0",
+            "wd_12_0", "torus_4_0",
+            "er_16_0.2_0",
+        ]
+    elif tier == "medium":
+        names = [
+            "g05_60_0", "pm1s_80_0", "wd_60_0",
+            "torus_8_0", "er_100_0.1_0", "er_120_0.1_1",
+        ]
+    else:
+        raise ValueError(f"unknown tier {tier!r}")
+    return {name: load_instance(name) for name in names}
+
+
+__all__ = ["load_instance", "standard_suite"]

@@ -1,0 +1,192 @@
+"""Graph generators.
+
+The paper's evaluation (§4) uses Erdős–Rényi ``G(n, p)`` graphs, one
+*unweighted* instance (all weights 1) and one *weighted* instance with
+weights drawn uniformly from ``[0, 1]`` for every (node count, edge
+probability) pair.  Additional generators (rings, regular, complete,
+bipartite, planted-partition) support tests, ablations and the "other graph
+types" outlook from the conclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.rng import RngLike, ensure_rng
+from repro.util.validation import check_probability, check_positive_int
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    weighted: bool = False,
+    rng: RngLike = None,
+    ensure_edge: bool = True,
+) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` graph, matching the paper's instances.
+
+    Parameters
+    ----------
+    n:
+        Node count.
+    p:
+        Independent edge probability.
+    weighted:
+        If True, weights are drawn uniformly from ``[0, 1]`` (paper §4);
+        otherwise all weights are 1.
+    ensure_edge:
+        Guarantee at least one edge (re-draws a single random pair if the
+        sampled graph is empty) so downstream solvers never receive a
+        degenerate instance.  Set False for exact G(n, p) semantics.
+    """
+    n = check_positive_int(n, "n")
+    p = check_probability(p, "p")
+    gen = ensure_rng(rng)
+    iu, iv = np.triu_indices(n, k=1)
+    mask = gen.random(len(iu)) < p
+    uu, vv = iu[mask], iv[mask]
+    if ensure_edge and len(uu) == 0 and n >= 2:
+        a = int(gen.integers(0, n - 1))
+        b = int(gen.integers(a + 1, n))
+        uu = np.array([a], dtype=np.int64)
+        vv = np.array([b], dtype=np.int64)
+    if weighted:
+        ww = gen.random(len(uu))
+    else:
+        ww = np.ones(len(uu))
+    return Graph._from_arrays(n, uu.astype(np.int64), vv.astype(np.int64), ww)
+
+
+def erdos_renyi_pair(
+    n: int, p: float, *, rng: RngLike = None
+) -> tuple[Graph, Graph]:
+    """The paper's per-grid-point instance pair: (unweighted, weighted)."""
+    gen = ensure_rng(rng)
+    return (
+        erdos_renyi(n, p, weighted=False, rng=gen),
+        erdos_renyi(n, p, weighted=True, rng=gen),
+    )
+
+
+def ring(n: int, *, weighted: bool = False, rng: RngLike = None) -> Graph:
+    """Cycle graph C_n (known MaxCut: n for even n, n-1 for odd n, unweighted)."""
+    n = check_positive_int(n, "n")
+    if n < 3:
+        raise ValueError("ring requires n >= 3")
+    uu = np.arange(n, dtype=np.int64)
+    vv = (uu + 1) % n
+    ww = ensure_rng(rng).random(n) if weighted else np.ones(n)
+    return Graph._from_arrays(n, uu, vv, ww)
+
+
+def complete(n: int, *, weighted: bool = False, rng: RngLike = None) -> Graph:
+    """Complete graph K_n (MaxCut = floor(n/2)*ceil(n/2) when unweighted)."""
+    n = check_positive_int(n, "n")
+    iu, iv = np.triu_indices(n, k=1)
+    ww = ensure_rng(rng).random(len(iu)) if weighted else np.ones(len(iu))
+    return Graph._from_arrays(n, iu.astype(np.int64), iv.astype(np.int64), ww)
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """K_{a,b}: every edge crosses the bipartition, so MaxCut = a*b."""
+    a = check_positive_int(a, "a")
+    b = check_positive_int(b, "b")
+    left = np.repeat(np.arange(a), b)
+    right = np.tile(np.arange(a, a + b), a)
+    return Graph._from_arrays(
+        a + b, left.astype(np.int64), right.astype(np.int64), np.ones(a * b)
+    )
+
+
+def random_regular(n: int, d: int, *, rng: RngLike = None) -> Graph:
+    """Random d-regular graph via the configuration model with retries.
+
+    3-regular graphs are the classic QAOA benchmark family (Farhi et al.);
+    provided for the conclusion's "other graph types" outlook.
+    """
+    n = check_positive_int(n, "n")
+    if d < 1 or d >= n or (n * d) % 2 != 0:
+        raise ValueError(f"invalid regular graph parameters n={n}, d={d}")
+    gen = ensure_rng(rng)
+    for _ in range(200):
+        stubs = np.repeat(np.arange(n), d)
+        gen.shuffle(stubs)
+        uu = stubs[0::2]
+        vv = stubs[1::2]
+        bad = uu == vv
+        pairs = set()
+        ok = True
+        for x, y in zip(uu, vv):
+            if x == y:
+                ok = False
+                break
+            key = (min(x, y), max(x, y))
+            if key in pairs:
+                ok = False
+                break
+            pairs.add(key)
+        if ok and not bad.any():
+            return Graph._from_arrays(
+                n, uu.astype(np.int64), vv.astype(np.int64), np.ones(len(uu))
+            )
+    raise RuntimeError("failed to sample a simple regular graph; try other n, d")
+
+
+def planted_partition(
+    n: int,
+    k: int,
+    p_in: float,
+    p_out: float,
+    *,
+    weighted: bool = False,
+    rng: RngLike = None,
+) -> Graph:
+    """Planted-partition (stochastic block) graph with ``k`` equal blocks.
+
+    Community structure makes these ideal for exercising the greedy
+    modularity divide step of QAOA² — communities should align with blocks.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    check_probability(p_in, "p_in")
+    check_probability(p_out, "p_out")
+    gen = ensure_rng(rng)
+    block = np.arange(n) % k
+    iu, iv = np.triu_indices(n, k=1)
+    same = block[iu] == block[iv]
+    prob = np.where(same, p_in, p_out)
+    mask = gen.random(len(iu)) < prob
+    uu, vv = iu[mask], iv[mask]
+    ww = gen.random(len(uu)) if weighted else np.ones(len(uu))
+    return Graph._from_arrays(n, uu.astype(np.int64), vv.astype(np.int64), ww)
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """Rectangular grid graph (bipartite: MaxCut = number of edges)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                edges.append((i, i + 1, 1.0))
+            if r + 1 < rows:
+                edges.append((i, i + cols, 1.0))
+    return Graph.from_edges(rows * cols, edges)
+
+
+__all__ = [
+    "erdos_renyi",
+    "erdos_renyi_pair",
+    "ring",
+    "complete",
+    "complete_bipartite",
+    "random_regular",
+    "planted_partition",
+    "grid_2d",
+]

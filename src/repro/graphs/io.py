@@ -1,0 +1,90 @@
+"""Graph serialisation: edge-list, JSON, and Gset/DIMACS-style formats.
+
+Benchmark MaxCut work distributes instances as weighted edge lists (the
+Gset collection, rudy format); this module reads/writes those plus a JSON
+container with metadata, so experiments can be re-run on external
+instances and our generated instances can be shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edgelist(graph: Graph, path: PathLike, *, header: bool = True) -> None:
+    """Gset/rudy format: first line ``n_nodes n_edges`` (optional), then one
+    ``u v w`` line per edge with 1-based node indices."""
+    lines = []
+    if header:
+        lines.append(f"{graph.n_nodes} {graph.n_edges}")
+    for a, b, w in zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist()):
+        if w == int(w):
+            lines.append(f"{a + 1} {b + 1} {int(w)}")
+        else:
+            lines.append(f"{a + 1} {b + 1} {w!r}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edgelist(path: PathLike, *, n_nodes: Optional[int] = None) -> Graph:
+    """Read the Gset/rudy format (with or without the header line).
+
+    A first line of exactly two integers is treated as the ``n m`` header
+    only when its second value matches the number of remaining data lines —
+    this disambiguates headerless two-column (unweighted) edge lists.
+    """
+    text = Path(path).read_text()
+    data_lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith(("#", "%", "c"))
+    ]
+    header_nodes: Optional[int] = None
+    if data_lines:
+        first = data_lines[0].split()
+        if len(first) == 2 and int(float(first[1])) == len(data_lines) - 1:
+            header_nodes = int(first[0])
+            data_lines = data_lines[1:]
+    edges = []
+    max_node = 0
+    for line in data_lines:
+        parts = line.split()
+        if len(parts) == 2:
+            a, b, w = int(parts[0]), int(parts[1]), 1.0
+        elif len(parts) >= 3:
+            a, b, w = int(parts[0]), int(parts[1]), float(parts[2])
+        else:
+            raise ValueError(f"malformed edge line: {line!r}")
+        edges.append((a - 1, b - 1, w))
+        max_node = max(max_node, a, b)
+    n = n_nodes if n_nodes is not None else (header_nodes or max_node)
+    return Graph.from_edges(n, edges)
+
+
+def write_json(graph: Graph, path: PathLike, *, metadata: Optional[dict] = None) -> None:
+    """JSON container: nodes, edges and free-form metadata."""
+    payload = {
+        "n_nodes": graph.n_nodes,
+        "edges": [
+            [int(a), int(b), float(w)]
+            for a, b, w in zip(graph.u, graph.v, graph.w)
+        ],
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def read_json(path: PathLike) -> tuple[Graph, dict]:
+    payload = json.loads(Path(path).read_text())
+    graph = Graph.from_edges(payload["n_nodes"], payload["edges"])
+    return graph, payload.get("metadata", {})
+
+
+__all__ = ["write_edgelist", "read_edgelist", "write_json", "read_json"]

@@ -1,0 +1,207 @@
+"""In-process MPI-like communicator (mpi4py API surface).
+
+The paper's workflow runs over mpi4py on an HPE-Cray EX machine; this
+module provides a faithful in-process substitute so the coordinator/worker
+scheme (Fig. 2) is written against the same API and could be dropped onto
+real MPI by swapping the import.  Ranks are threads; message payloads go
+through an actual pickle round-trip to preserve mpi4py's
+"communication of generic Python objects" semantics (unpicklable payloads
+fail here exactly as they would on real MPI).
+
+Supported: ``send/recv`` (with source/tag matching and ANY wildcards),
+``bcast``, ``scatter``, ``gather``, ``allgather``, ``allreduce``,
+``barrier``, plus the ``Get_rank``/``Get_size`` spellings.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: bytes
+
+
+class _Mailbox:
+    """Per-rank buffered mailbox with source/tag matching."""
+
+    def __init__(self) -> None:
+        self._messages: List[_Message] = []
+        self._condition = threading.Condition()
+
+    def put(self, message: _Message) -> None:
+        with self._condition:
+            self._messages.append(message)
+            self._condition.notify_all()
+
+    def get(self, source: int, tag: int, timeout: Optional[float]) -> _Message:
+        def match() -> Optional[int]:
+            for idx, msg in enumerate(self._messages):
+                if source not in (ANY_SOURCE, msg.source):
+                    continue
+                if tag not in (ANY_TAG, msg.tag):
+                    continue
+                return idx
+            return None
+
+        with self._condition:
+            idx = match()
+            while idx is None:
+                if not self._condition.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"recv timed out waiting for source={source} tag={tag}"
+                    )
+                idx = match()
+            return self._messages.pop(idx)
+
+
+class _World:
+    """Shared state of a communicator group."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+
+class Communicator:
+    """One rank's handle on the group (the ``comm`` object)."""
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # mpi4py-style accessors
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Point to point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid dest rank {dest}")
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._world.mailboxes[dest].put(_Message(self.rank, tag, payload))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        timeout: Optional[float] = 60.0,
+        status: Optional[dict] = None,
+    ) -> Any:
+        msg = self._world.mailboxes[self.rank].get(source, tag, timeout)
+        if status is not None:
+            status["source"] = msg.source
+            status["tag"] = msg.tag
+        return pickle.loads(msg.payload)
+
+    # ------------------------------------------------------------------
+    # Collectives (built on point-to-point, root-rooted trees kept simple)
+    # ------------------------------------------------------------------
+    _COLL_TAG = 1 << 20  # reserved tag space for collectives
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=self._COLL_TAG)
+            return obj
+        return self.recv(source=root, tag=self._COLL_TAG)
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter needs one object per rank at root")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(objs[dest], dest, tag=self._COLL_TAG + 1)
+            return objs[root]
+        return self.recv(source=root, tag=self._COLL_TAG + 1)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            # Receive per-source: message order is FIFO per (source, dest)
+            # pair, so consecutive collectives cannot steal each other's
+            # payloads (an ANY_SOURCE loop could).
+            for source in range(self.size):
+                if source != root:
+                    out[source] = self.recv(source=source, tag=self._COLL_TAG + 2)
+            return out
+        self.send(obj, root, tag=self._COLL_TAG + 2)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        import operator
+
+        reducer = op or operator.add
+        values = self.allgather(obj)
+        acc = values[0]
+        for value in values[1:]:
+            acc = reducer(acc, value)
+        return acc
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+
+def run_parallel(
+    size: int, fn: Callable[..., Any], *args: Any, timeout: float = 300.0
+) -> List[Any]:
+    """Launch ``fn(comm, *args)`` on ``size`` thread-ranks; gather returns.
+
+    Exceptions on any rank are re-raised in the caller (first by rank), so
+    deadlocks/failures surface in tests instead of hanging.
+    """
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    world = _World(size)
+    results: List[Any] = [None] * size
+    errors: List[Optional[BaseException]] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            errors[rank] = exc
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(rank,), daemon=True)
+        for rank in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+        if t.is_alive():
+            raise TimeoutError("parallel section did not complete in time")
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results
+
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "run_parallel"]

@@ -1,0 +1,109 @@
+"""Execution traces, idle-time accounting and text Gantt rendering.
+
+Shared by the SLURM simulator (Fig. 1 experiment) and the coordinator
+scheme (Fig. 2 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One allocation/usage interval of a resource."""
+
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ResourceTrace:
+    """Allocated and used intervals for one resource type."""
+
+    name: str
+    capacity: int = 1
+    allocated: List[Interval] = field(default_factory=list)
+    used: List[Interval] = field(default_factory=list)
+
+    def allocated_time(self) -> float:
+        return sum(i.duration for i in self.allocated)
+
+    def used_time(self) -> float:
+        return sum(i.duration for i in self.used)
+
+    def idle_while_allocated(self) -> float:
+        """Time a resource was held by a job but not doing that job's work —
+        the quantity Fig. 1's heterogeneous jobs reduce."""
+        return self.allocated_time() - self.used_time()
+
+    def utilization(self, makespan: float) -> float:
+        """Used time / (capacity × makespan)."""
+        if makespan <= 0:
+            return 0.0
+        return self.used_time() / (self.capacity * makespan)
+
+
+def merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Union of possibly overlapping intervals (for busy-span accounting)."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda i: (i.start, i.end))
+    merged = [ordered[0]]
+    for interval in ordered[1:]:
+        last = merged[-1]
+        if interval.start <= last.end + 1e-12:
+            merged[-1] = Interval(last.start, max(last.end, interval.end), last.label)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def busy_span(intervals: List[Interval]) -> float:
+    """Total covered time of the interval union."""
+    return sum(i.duration for i in merge_intervals(intervals))
+
+
+def render_gantt(
+    rows: Dict[str, List[Interval]],
+    *,
+    width: int = 72,
+    t_max: Optional[float] = None,
+) -> str:
+    """ASCII Gantt chart: one row per resource/worker, '#' = busy."""
+    if not rows:
+        return "(empty trace)"
+    horizon = t_max or max(
+        (i.end for intervals in rows.values() for i in intervals), default=1.0
+    )
+    if horizon <= 0:
+        horizon = 1.0
+    lines = []
+    label_width = max(len(name) for name in rows) + 1
+    for name, intervals in rows.items():
+        cells = [" "] * width
+        for interval in intervals:
+            lo = int(np.floor(interval.start / horizon * width))
+            hi = int(np.ceil(interval.end / horizon * width))
+            for c in range(max(0, lo), min(width, hi)):
+                cells[c] = "#"
+        lines.append(f"{name:<{label_width}s}|{''.join(cells)}|")
+    lines.append(f"{'':<{label_width}s}0{'':<{width - 8}s}{horizon:8.2f}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Interval",
+    "ResourceTrace",
+    "merge_intervals",
+    "busy_span",
+    "render_gantt",
+]

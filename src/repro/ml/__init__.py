@@ -1,0 +1,26 @@
+"""ML method-selection testbed: graph features, a from-scratch logistic
+classifier (Moussa et al. analogue) and the grid-search knowledge base."""
+
+from repro.ml.classifier import (
+    LogisticRegression,
+    MethodClassifier,
+    StandardScaler,
+    train_test_split,
+)
+from repro.ml.features import FEATURE_NAMES, extract_features, feature_dict
+from repro.ml.knowledge import GridRecord, KnowledgeBase
+from repro.ml.regressor import MLPRegressor, ParameterPredictor
+
+__all__ = [
+    "FEATURE_NAMES",
+    "extract_features",
+    "feature_dict",
+    "StandardScaler",
+    "LogisticRegression",
+    "MethodClassifier",
+    "train_test_split",
+    "GridRecord",
+    "KnowledgeBase",
+    "MLPRegressor",
+    "ParameterPredictor",
+]

@@ -1,0 +1,160 @@
+"""Logistic-regression QAOA-vs-GW selector (from-scratch NumPy).
+
+A compact analogue of the Moussa-et-al. classifier [35]: standardised graph
+features -> L2-regularised logistic regression trained by full-batch
+gradient descent with a fixed-step schedule.  Small on purpose — the
+training sets here are grid-search outputs with a few hundred rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.ml.features import extract_features
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class StandardScaler:
+    """Column-wise standardisation fitted on the training matrix."""
+
+    mean_: Optional[np.ndarray] = None
+    scale_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler not fitted")
+        return (x - self.mean_) / self.scale_
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+@dataclass
+class LogisticRegression:
+    """L2-regularised logistic regression, full-batch gradient descent."""
+
+    learning_rate: float = 0.1
+    n_epochs: int = 500
+    l2: float = 1e-3
+    weights_: Optional[np.ndarray] = None
+    bias_: float = 0.0
+    loss_history_: list = field(default_factory=list)
+
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, rng: RngLike = None
+    ) -> "LogisticRegression":
+        gen = ensure_rng(rng)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n, d = x.shape
+        w = gen.standard_normal(d) * 0.01
+        b = 0.0
+        for _ in range(self.n_epochs):
+            p = _sigmoid(x @ w + b)
+            error = p - y
+            grad_w = x.T @ error / n + self.l2 * w
+            grad_b = float(error.mean())
+            w -= self.learning_rate * grad_w
+            b -= self.learning_rate * grad_b
+            eps = 1e-12
+            loss = float(
+                -np.mean(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps))
+                + 0.5 * self.l2 * np.dot(w, w)
+            )
+            self.loss_history_.append(loss)
+        self.weights_ = w
+        self.bias_ = b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model not fitted")
+        return _sigmoid(np.asarray(x, dtype=np.float64) @ self.weights_ + self.bias_)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+
+@dataclass
+class MethodClassifier:
+    """End-to-end selector: graph -> features -> scaled -> P(QAOA wins).
+
+    Label convention: ``1`` = QAOA strictly better than the GW comparison
+    value, ``0`` = GW at least as good.
+    """
+
+    model: LogisticRegression = field(default_factory=LogisticRegression)
+    scaler: StandardScaler = field(default_factory=StandardScaler)
+    threshold: float = 0.5
+
+    def fit(
+        self,
+        graphs: Sequence[Graph],
+        qaoa_wins: Sequence[int],
+        rng: RngLike = None,
+    ) -> "MethodClassifier":
+        x = np.array([extract_features(g) for g in graphs])
+        y = np.asarray(qaoa_wins, dtype=np.int64)
+        self.scaler.fit(x)
+        self.model.fit(self.scaler.transform(x), y, rng=rng)
+        return self
+
+    def fit_features(
+        self, x: np.ndarray, y: np.ndarray, rng: RngLike = None
+    ) -> "MethodClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        self.scaler.fit(x)
+        self.model.fit(self.scaler.transform(x), np.asarray(y), rng=rng)
+        return self
+
+    def predict_proba(self, graph: Graph) -> float:
+        x = extract_features(graph)[None, :]
+        return float(self.model.predict_proba(self.scaler.transform(x))[0])
+
+    def predict_method(self, graph: Graph) -> str:
+        return "qaoa" if self.predict_proba(graph) >= self.threshold else "gw"
+
+    def accuracy(self, graphs: Sequence[Graph], qaoa_wins: Sequence[int]) -> float:
+        x = np.array([extract_features(g) for g in graphs])
+        return self.model.accuracy(self.scaler.transform(x), np.asarray(qaoa_wins))
+
+
+def train_test_split(
+    x: np.ndarray, y: np.ndarray, *, test_fraction: float = 0.25, rng: RngLike = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split; returns (x_train, y_train, x_test, y_test)."""
+    gen = ensure_rng(rng)
+    n = len(x)
+    order = gen.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+__all__ = [
+    "StandardScaler",
+    "LogisticRegression",
+    "MethodClassifier",
+    "train_test_split",
+]

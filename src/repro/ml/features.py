@@ -1,0 +1,95 @@
+"""Graph feature extraction for the QAOA-vs-GW method selector.
+
+Moussa et al. (paper ref. [35]) train a classifier on graph features to
+predict whether QAOA or GW will perform better on an instance; the paper
+positions this repo's workflow as "a testbed to train and test such
+selection mechanisms".  The feature set below captures the signals the
+Fig. 3 grid search shows to matter (size, density/edge probability,
+weighting) plus standard structure statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+FEATURE_NAMES: List[str] = [
+    "n_nodes",
+    "n_edges",
+    "density",
+    "mean_degree",
+    "std_degree",
+    "max_degree",
+    "weighted",
+    "weight_mean",
+    "weight_std",
+    "clustering",
+    "spectral_radius_norm",
+    "algebraic_connectivity_norm",
+]
+
+
+def _triangle_clustering(graph: Graph) -> float:
+    """Global clustering coefficient = 3·triangles / connected triples.
+
+    Dense-matrix trace computation — fine for the sub-graph sizes (≤ ~50
+    nodes) this selector sees.
+    """
+    n = graph.n_nodes
+    if n < 3 or graph.n_edges == 0:
+        return 0.0
+    a = (graph.adjacency() != 0).astype(np.float64)
+    deg = a.sum(axis=1)
+    triples = float(np.sum(deg * (deg - 1)) / 2.0)
+    if triples == 0:
+        return 0.0
+    triangles = float(np.trace(a @ a @ a) / 6.0)
+    return 3.0 * triangles / triples
+
+
+def extract_features(graph: Graph) -> np.ndarray:
+    """Feature vector in the order of :data:`FEATURE_NAMES`."""
+    n = max(1, graph.n_nodes)
+    deg = graph.degrees()
+    if graph.n_edges:
+        w_mean = float(graph.w.mean())
+        w_std = float(graph.w.std())
+    else:
+        w_mean = w_std = 0.0
+    if graph.n_nodes >= 2 and graph.n_edges:
+        a = graph.adjacency()
+        eig_a = np.linalg.eigvalsh(a)
+        spectral_radius = float(np.max(np.abs(eig_a))) / n
+        lap = graph.laplacian()
+        eig_l = np.linalg.eigvalsh(lap)
+        algebraic = float(np.sort(eig_l)[1]) / n
+    else:
+        spectral_radius = 0.0
+        algebraic = 0.0
+    return np.array(
+        [
+            float(graph.n_nodes),
+            float(graph.n_edges),
+            graph.density,
+            float(deg.mean()) if len(deg) else 0.0,
+            float(deg.std()) if len(deg) else 0.0,
+            float(deg.max()) if len(deg) else 0.0,
+            1.0 if graph.is_weighted else 0.0,
+            w_mean,
+            w_std,
+            _triangle_clustering(graph),
+            spectral_radius,
+            algebraic,
+        ]
+    )
+
+
+def feature_dict(graph: Graph) -> Dict[str, float]:
+    """Named view of :func:`extract_features` (reports, debugging)."""
+    return dict(zip(FEATURE_NAMES, extract_features(graph)))
+
+
+__all__ = ["FEATURE_NAMES", "extract_features", "feature_dict"]

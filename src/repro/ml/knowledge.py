@@ -1,0 +1,163 @@
+"""Knowledge base of grid-search outcomes (the Fig. 3 "knowledge base").
+
+The paper: "This creates a simple, yet instructive, knowledge base about
+which type of parameterization of QAOA is more suitable for a type of graph
+or whether a classical solution is better overall.  This knowledge can in
+turn be used to optimally process a set of sub-graphs resulting from a step
+in QAOA²."
+
+Records are keyed by graph class (node count, edge probability/density,
+weighted flag) and parameterisation (layers p, rhobeg).  Queries answer:
+
+* ``recommend_method`` — should this sub-graph go to QAOA or GW?
+* ``best_parameters`` — which (p, rhobeg) wins most for this graph class?
+* ``warm_start_params`` — stored optimal angles for transfer (ref. [37]).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class GridRecord:
+    """One grid-search observation."""
+
+    n_nodes: int
+    edge_probability: float
+    weighted: bool
+    layers: int
+    rhobeg: float
+    qaoa_cut: float
+    gw_cut: float  # the paper's comparison value: 30-slice average
+    qaoa_params: Optional[List[float]] = None
+
+    @property
+    def qaoa_win(self) -> bool:
+        return self.qaoa_cut > self.gw_cut
+
+    @property
+    def ratio(self) -> float:
+        if self.gw_cut == 0:
+            return 1.0 if self.qaoa_cut == 0 else np.inf
+        return self.qaoa_cut / self.gw_cut
+
+
+def _density_bucket(p: float, width: float = 0.1) -> float:
+    """Snap a density/edge probability to the paper's 0.1-wide grid."""
+    return round(max(width, round(p / width) * width), 3)
+
+
+@dataclass
+class KnowledgeBase:
+    """In-memory store with JSON (de)serialisation."""
+
+    records: List[GridRecord] = field(default_factory=list)
+    node_tolerance: int = 3
+    density_width: float = 0.1
+
+    def add(self, record: GridRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Sequence[GridRecord]) -> None:
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def _matching(
+        self, n_nodes: int, density: float, weighted: Optional[bool]
+    ) -> List[GridRecord]:
+        bucket = _density_bucket(density, self.density_width)
+        out = []
+        for rec in self.records:
+            if abs(rec.n_nodes - n_nodes) > self.node_tolerance:
+                continue
+            if abs(_density_bucket(rec.edge_probability, self.density_width) - bucket) > 1e-9:
+                continue
+            if weighted is not None and rec.weighted != weighted:
+                continue
+            out.append(rec)
+        return out
+
+    def win_rate(
+        self, n_nodes: int, density: float, weighted: Optional[bool] = None
+    ) -> Optional[float]:
+        """Fraction of observations where QAOA strictly beat GW."""
+        matches = self._matching(n_nodes, density, weighted)
+        if not matches:
+            return None
+        return float(np.mean([rec.qaoa_win for rec in matches]))
+
+    def recommend_method(
+        self,
+        n_nodes: int,
+        density: float,
+        weighted: Optional[bool] = None,
+        *,
+        win_threshold: float = 0.5,
+    ) -> Optional[str]:
+        """``qaoa`` if its historical win rate clears the threshold."""
+        rate = self.win_rate(n_nodes, density, weighted)
+        if rate is None:
+            return None
+        return "qaoa" if rate >= win_threshold else "gw"
+
+    def best_parameters(
+        self, n_nodes: int, density: float, weighted: Optional[bool] = None
+    ) -> Optional[Tuple[int, float]]:
+        """(layers, rhobeg) with the highest mean QAOA/GW ratio for the class.
+
+        This is the Fig. 3(c) readout — the paper identifies
+        (rhobeg=0.5, p=6) as the most successful combination.
+        """
+        matches = self._matching(n_nodes, density, weighted)
+        if not matches:
+            return None
+        by_combo: Dict[Tuple[int, float], List[float]] = {}
+        for rec in matches:
+            by_combo.setdefault((rec.layers, rec.rhobeg), []).append(rec.ratio)
+        best = max(by_combo.items(), key=lambda kv: np.mean(kv[1]))
+        return best[0]
+
+    def warm_start_params(
+        self, n_nodes: int, density: float, weighted: Optional[bool] = None
+    ) -> Optional[np.ndarray]:
+        """Stored angles of the best observed run (parameter transfer)."""
+        matches = [
+            rec
+            for rec in self._matching(n_nodes, density, weighted)
+            if rec.qaoa_params is not None
+        ]
+        if not matches:
+            return None
+        best = max(matches, key=lambda rec: rec.ratio)
+        return np.asarray(best.qaoa_params, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "node_tolerance": self.node_tolerance,
+            "density_width": self.density_width,
+            "records": [asdict(rec) for rec in self.records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path: str | Path) -> "KnowledgeBase":
+        payload = json.loads(Path(path).read_text())
+        kb = KnowledgeBase(
+            node_tolerance=payload.get("node_tolerance", 3),
+            density_width=payload.get("density_width", 0.1),
+        )
+        kb.records = [GridRecord(**rec) for rec in payload["records"]]
+        return kb
+
+
+__all__ = ["GridRecord", "KnowledgeBase"]

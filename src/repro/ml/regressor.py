@@ -1,0 +1,166 @@
+"""Neural parameter prediction for QAOA warm starts (paper ref. [37]).
+
+Amosy et al. (the paper's co-author's prior work, "Iterative-free quantum
+approximate optimization algorithm using neural networks") train a network
+to predict good initial (γ, β) from instance descriptions, and the paper
+suggests the same for this workflow: "with a large dataset of QAOA
+results, a neural network can be trained to predict initial parameters for
+subsequent QAOA simulations".
+
+This module provides that component from scratch: a small NumPy MLP
+regressor mapping graph features to optimal angle vectors, trained on
+grid-search/knowledge-base outcomes, plus the end-to-end
+``predict_initial_parameters`` warm-start hook for
+:class:`repro.qaoa.solver.QAOASolver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.ml.classifier import StandardScaler
+from repro.ml.features import extract_features
+from repro.qaoa.params import transfer_parameters
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class MLPRegressor:
+    """Two-layer perceptron (tanh hidden layer) trained with Adam on MSE.
+
+    Deliberately small: the training sets are grid-search outputs with at
+    most a few thousand rows; a single hidden layer captures the smooth
+    density/size -> angle mapping well.
+    """
+
+    hidden: int = 32
+    learning_rate: float = 1e-2
+    n_epochs: int = 400
+    batch_size: int = 32
+    l2: float = 1e-4
+    w1: Optional[np.ndarray] = None
+    b1: Optional[np.ndarray] = None
+    w2: Optional[np.ndarray] = None
+    b2: Optional[np.ndarray] = None
+    loss_history_: List[float] = field(default_factory=list)
+
+    def fit(self, x: np.ndarray, y: np.ndarray, rng: RngLike = None) -> "MLPRegressor":
+        gen = ensure_rng(rng)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        n, d_in = x.shape
+        d_out = y.shape[1]
+        self.w1 = gen.standard_normal((d_in, self.hidden)) / np.sqrt(d_in)
+        self.b1 = np.zeros(self.hidden)
+        self.w2 = gen.standard_normal((self.hidden, d_out)) / np.sqrt(self.hidden)
+        self.b2 = np.zeros(d_out)
+        # Adam state
+        params = [self.w1, self.b1, self.w2, self.b2]
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        for epoch in range(self.n_epochs):
+            order = gen.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = x[idx], y[idx]
+                hidden_pre = xb @ self.w1 + self.b1
+                hidden = np.tanh(hidden_pre)
+                pred = hidden @ self.w2 + self.b2
+                err = pred - yb
+                epoch_loss += float(np.sum(err**2))
+                grad_pred = 2.0 * err / len(xb)
+                grad_w2 = hidden.T @ grad_pred + self.l2 * self.w2
+                grad_b2 = grad_pred.sum(axis=0)
+                grad_hidden = (grad_pred @ self.w2.T) * (1.0 - hidden**2)
+                grad_w1 = xb.T @ grad_hidden + self.l2 * self.w1
+                grad_b1 = grad_hidden.sum(axis=0)
+                grads = [grad_w1, grad_b1, grad_w2, grad_b2]
+                step += 1
+                for k, (p, g) in enumerate(zip(params, grads)):
+                    m[k] = beta1 * m[k] + (1 - beta1) * g
+                    v[k] = beta2 * v[k] + (1 - beta2) * g * g
+                    m_hat = m[k] / (1 - beta1**step)
+                    v_hat = v[k] / (1 - beta2**step)
+                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.loss_history_.append(epoch_loss / n)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.w1 is None:
+            raise RuntimeError("model not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = np.tanh(x @ self.w1 + self.b1) @ self.w2 + self.b2
+        return out[0] if single else out
+
+
+@dataclass
+class ParameterPredictor:
+    """Graph -> initial QAOA angles, the iterative-free warm start.
+
+    Trains on (graph features, optimal parameter vector) pairs — e.g. the
+    ``qaoa_params`` stored by the grid search — at a fixed layer count
+    ``p_train``; predictions re-interpolate to any requested p.
+    """
+
+    p_train: int
+    model: MLPRegressor = field(default_factory=MLPRegressor)
+    scaler: StandardScaler = field(default_factory=StandardScaler)
+
+    def fit(
+        self,
+        graphs: Sequence[Graph],
+        parameter_vectors: Sequence[np.ndarray],
+        rng: RngLike = None,
+    ) -> "ParameterPredictor":
+        x = np.array([extract_features(g) for g in graphs])
+        y = np.array(
+            [transfer_parameters(np.asarray(p, float), self.p_train) for p in parameter_vectors]
+        )
+        self.scaler.fit(x)
+        self.model.fit(self.scaler.transform(x), y, rng=rng)
+        return self
+
+    def predict_initial_parameters(self, graph: Graph, p: Optional[int] = None) -> np.ndarray:
+        """Angles for ``graph``, interpolated to ``p`` layers if given."""
+        x = self.scaler.transform(extract_features(graph)[None, :])[0]
+        params = self.model.predict(x)
+        if p is not None and p != self.p_train:
+            params = transfer_parameters(params, p)
+        return params
+
+    @staticmethod
+    def from_knowledge_base(kb, p_train: int, rng: RngLike = None) -> "ParameterPredictor":
+        """Train from a :class:`repro.ml.knowledge.KnowledgeBase`'s stored
+        ``qaoa_params`` records (regenerating each record's graph)."""
+        from repro.graphs.generators import erdos_renyi
+
+        gen = ensure_rng(rng)
+        graphs, vectors = [], []
+        for rec in kb.records:
+            if rec.qaoa_params is None:
+                continue
+            graphs.append(
+                erdos_renyi(
+                    rec.n_nodes, rec.edge_probability, weighted=rec.weighted,
+                    rng=int(gen.integers(2**31)),
+                )
+            )
+            vectors.append(np.asarray(rec.qaoa_params, dtype=np.float64))
+        if not graphs:
+            raise ValueError("knowledge base holds no parameter records")
+        return ParameterPredictor(p_train).fit(graphs, vectors, rng=gen)
+
+
+__all__ = ["MLPRegressor", "ParameterPredictor"]

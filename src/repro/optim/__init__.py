@@ -1,0 +1,52 @@
+"""Classical optimizers for the variational loop.
+
+``minimize`` dispatches by name; COBYLA (the paper's optimizer, with its
+``rhobeg`` knob) is the default.  SPSA and Nelder–Mead are from-scratch
+implementations used in the optimizer ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.base import OptimizationResult, RecordingObjective
+from repro.optim.cobyla import minimize_cobyla
+from repro.optim.nelder_mead import minimize_nelder_mead
+from repro.optim.spsa import minimize_spsa
+from repro.util.rng import RngLike
+
+
+def minimize(
+    fun: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    *,
+    method: str = "cobyla",
+    rhobeg: float = 0.5,
+    maxiter: int = 100,
+    rng: RngLike = None,
+) -> OptimizationResult:
+    """Minimize ``fun`` starting at ``x0`` with the named backend.
+
+    ``rhobeg`` maps to the analogous initial-step parameter of each backend
+    so the paper's grid axis is meaningful for every optimizer.
+    """
+    method = method.lower()
+    if method == "cobyla":
+        return minimize_cobyla(fun, x0, rhobeg=rhobeg, maxiter=maxiter)
+    if method == "spsa":
+        return minimize_spsa(fun, x0, maxiter=maxiter, c=max(0.02, rhobeg / 5), rng=rng)
+    if method in ("nelder-mead", "nelder_mead", "nm"):
+        return minimize_nelder_mead(fun, x0, maxiter=maxiter, initial_step=rhobeg)
+    raise ValueError(f"unknown optimizer {method!r}")
+
+
+__all__ = [
+    "OptimizationResult",
+    "RecordingObjective",
+    "minimize",
+    "minimize_cobyla",
+    "minimize_spsa",
+    "minimize_nelder_mead",
+]

@@ -1,0 +1,52 @@
+"""Common optimizer result type and objective-wrapping utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class OptimizationResult:
+    """Uniform result object across optimizer backends."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int
+    success: bool = True
+    message: str = ""
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+
+
+class RecordingObjective:
+    """Wrap an objective to record evaluations and the best point seen.
+
+    Optimizers can terminate away from their best iterate (COBYLA in
+    particular); QAOA cares about the best parameters encountered, so every
+    solver in this package reports ``best_x``/``best_f`` from this wrapper.
+    """
+
+    def __init__(self, fun: Callable[[np.ndarray], float]) -> None:
+        self._fun = fun
+        self.nfev = 0
+        self.history: List[float] = []
+        self.best_f = np.inf
+        self.best_x: Optional[np.ndarray] = None
+
+    def __call__(self, x: np.ndarray) -> float:
+        value = float(self._fun(np.asarray(x, dtype=np.float64)))
+        self.nfev += 1
+        self.history.append(value)
+        if value < self.best_f:
+            self.best_f = value
+            self.best_x = np.array(x, dtype=np.float64)
+        return value
+
+
+__all__ = ["OptimizationResult", "RecordingObjective"]

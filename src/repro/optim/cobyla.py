@@ -1,0 +1,58 @@
+"""COBYLA — the paper's optimizer (§4).
+
+The grid search sweeps ``rhobeg`` (the initial change to the variables,
+COBYLA's trust-region start size) over {0.1 .. 0.5}, so that knob is a
+first-class argument here.  Thin wrapper over SciPy's implementation with
+best-seen tracking (COBYLA's final iterate is not always its best).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import optimize as sp_optimize
+
+from repro.optim.base import OptimizationResult, RecordingObjective
+
+
+def minimize_cobyla(
+    fun: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    *,
+    rhobeg: float = 0.5,
+    maxiter: int = 100,
+    tol: float = 1e-6,
+) -> OptimizationResult:
+    """Minimize ``fun`` with COBYLA.
+
+    Parameters
+    ----------
+    rhobeg:
+        Initial simplex/trust-region radius — the paper's swept parameter.
+    maxiter:
+        Maximum objective evaluations (COBYLA counts evaluations).
+    """
+    recorder = RecordingObjective(fun)
+    x0 = np.asarray(x0, dtype=np.float64)
+    # COBYLA needs at least dim+2 evaluations to build its initial simplex.
+    effective_maxiter = max(int(maxiter), len(x0) + 2)
+    result = sp_optimize.minimize(
+        recorder,
+        x0,
+        method="COBYLA",
+        options={"rhobeg": float(rhobeg), "maxiter": effective_maxiter, "tol": tol},
+    )
+    best_x = recorder.best_x if recorder.best_x is not None else result.x
+    return OptimizationResult(
+        x=best_x,
+        fun=recorder.best_f,
+        nfev=recorder.nfev,
+        nit=int(result.get("nit", recorder.nfev)) if hasattr(result, "get") else recorder.nfev,
+        success=bool(result.success),
+        message=str(result.message),
+        history=recorder.history,
+    )
+
+
+__all__ = ["minimize_cobyla"]

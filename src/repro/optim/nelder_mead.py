@@ -1,0 +1,95 @@
+"""Nelder–Mead downhill simplex, implemented from scratch.
+
+Standard reflection/expansion/contraction/shrink with the adaptive
+parameters of Gao & Han (2012) for moderate dimension.  Serves as a
+derivative-free alternative to COBYLA in the optimizer ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.base import OptimizationResult, RecordingObjective
+
+
+def minimize_nelder_mead(
+    fun: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    *,
+    maxiter: int = 200,
+    initial_step: float = 0.5,
+    xatol: float = 1e-6,
+    fatol: float = 1e-8,
+) -> OptimizationResult:
+    """Minimize ``fun`` with Nelder–Mead.
+
+    ``maxiter`` bounds objective evaluations (to be comparable with COBYLA's
+    accounting in the ablation).  ``initial_step`` plays the role of rhobeg.
+    """
+    recorder = RecordingObjective(fun)
+    x0 = np.asarray(x0, dtype=np.float64)
+    dim = len(x0)
+    # Adaptive coefficients (Gao & Han): better behaviour as dim grows.
+    rho = 1.0
+    chi = 1.0 + 2.0 / dim
+    psi = 0.75 - 1.0 / (2.0 * dim)
+    sigma = 1.0 - 1.0 / dim
+
+    simplex = np.empty((dim + 1, dim))
+    simplex[0] = x0
+    for i in range(dim):
+        point = x0.copy()
+        point[i] += initial_step if point[i] == 0 else initial_step * (1 + abs(point[i]))
+        simplex[i + 1] = point
+    values = np.array([recorder(p) for p in simplex])
+
+    iterations = 0
+    while recorder.nfev < maxiter:
+        iterations += 1
+        order = np.argsort(values, kind="stable")
+        simplex, values = simplex[order], values[order]
+        if (
+            np.max(np.abs(simplex[1:] - simplex[0])) <= xatol
+            and np.max(np.abs(values[1:] - values[0])) <= fatol
+        ):
+            break
+        centroid = simplex[:-1].mean(axis=0)
+        reflected = centroid + rho * (centroid - simplex[-1])
+        f_reflected = recorder(reflected)
+        if f_reflected < values[0]:
+            expanded = centroid + chi * (reflected - centroid)
+            f_expanded = recorder(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            if f_reflected < values[-1]:
+                contracted = centroid + psi * (reflected - centroid)
+            else:
+                contracted = centroid - psi * (centroid - simplex[-1])
+            f_contracted = recorder(contracted)
+            if f_contracted < min(f_reflected, values[-1]):
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:  # shrink toward the best vertex
+                for i in range(1, dim + 1):
+                    simplex[i] = simplex[0] + sigma * (simplex[i] - simplex[0])
+                    values[i] = recorder(simplex[i])
+                    if recorder.nfev >= maxiter:
+                        break
+    return OptimizationResult(
+        x=recorder.best_x,
+        fun=recorder.best_f,
+        nfev=recorder.nfev,
+        nit=iterations,
+        success=True,
+        message="Nelder-Mead completed",
+        history=recorder.history,
+    )
+
+
+__all__ = ["minimize_nelder_mead"]

@@ -1,0 +1,63 @@
+"""Simultaneous Perturbation Stochastic Approximation (from scratch).
+
+SPSA estimates the gradient from two objective evaluations regardless of
+dimension, making it the standard choice for shot-noisy VQA objectives.
+Included for the optimizer ablation (DESIGN.md A4); standard Spall (1998)
+gain schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.optim.base import OptimizationResult, RecordingObjective
+from repro.util.rng import RngLike, ensure_rng
+
+
+def minimize_spsa(
+    fun: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    *,
+    maxiter: int = 100,
+    a: float = 0.2,
+    c: float = 0.1,
+    alpha: float = 0.602,
+    gamma: float = 0.101,
+    A: float | None = None,
+    rng: RngLike = None,
+) -> OptimizationResult:
+    """Minimize ``fun`` with SPSA.
+
+    Gain schedules: ``a_k = a / (k + 1 + A)^alpha``, ``c_k = c / (k+1)^gamma``
+    with the stability offset ``A`` defaulting to 10% of ``maxiter`` (Spall's
+    rule of thumb).  Uses 2 evaluations per iteration.
+    """
+    gen = ensure_rng(rng)
+    recorder = RecordingObjective(fun)
+    x = np.array(x0, dtype=np.float64)
+    stability = float(A) if A is not None else 0.1 * maxiter
+    n_iter = max(1, maxiter // 2)  # two evaluations per iteration
+    for k in range(n_iter):
+        ak = a / (k + 1 + stability) ** alpha
+        ck = c / (k + 1) ** gamma
+        delta = gen.choice((-1.0, 1.0), size=len(x))
+        f_plus = recorder(x + ck * delta)
+        f_minus = recorder(x - ck * delta)
+        gradient = (f_plus - f_minus) / (2.0 * ck) * (1.0 / delta)
+        x = x - ak * gradient
+    # Final evaluation at the last iterate so it can win best-seen.
+    recorder(x)
+    return OptimizationResult(
+        x=recorder.best_x,
+        fun=recorder.best_f,
+        nfev=recorder.nfev,
+        nit=n_iter,
+        success=True,
+        message="SPSA completed",
+        history=recorder.history,
+    )
+
+
+__all__ = ["minimize_spsa"]

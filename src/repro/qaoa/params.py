@@ -1,0 +1,106 @@
+"""Initial-parameter strategies for QAOA.
+
+The paper sweeps COBYLA's ``rhobeg`` and notes that higher layer counts
+"would be expected to reach better results using more iterations or better
+initial parameters", citing the neural-initialisation work [37].  This
+module provides the initialisation strategies used across the repo,
+including the knowledge-base warm start (a lightweight [37] analogue fed by
+the Fig. 3 grid search).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+
+def fixed_init(p: int, gamma0: float = 0.1, beta0: float = 0.1) -> np.ndarray:
+    """Constant small angles — a neutral, reproducible default."""
+    return np.concatenate([np.full(p, gamma0), np.full(p, beta0)])
+
+
+def linear_ramp_init(p: int, delta: float = 0.75) -> np.ndarray:
+    """Trotterised-annealing ramp: γ grows, β shrinks across layers.
+
+    This is the standard QAOA warm start derived from the adiabatic limit
+    (γ_l = (l+½)/p · Δ, β_l = (1 − (l+½)/p) · Δ).
+    """
+    steps = (np.arange(p) + 0.5) / p
+    return np.concatenate([steps * delta, (1.0 - steps) * delta])
+
+
+def random_init(p: int, rng: RngLike = None, scale: float = np.pi / 4) -> np.ndarray:
+    """Uniform random angles in ``[-scale, scale]``."""
+    gen = ensure_rng(rng)
+    return gen.uniform(-scale, scale, size=2 * p)
+
+
+def initial_parameters(
+    p: int,
+    strategy: str = "ramp",
+    *,
+    rng: RngLike = None,
+    warm_start: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dispatch on strategy name: ``fixed`` | ``ramp`` | ``random`` | ``warm``.
+
+    ``warm`` requires ``warm_start`` (e.g. from
+    :class:`repro.ml.knowledge.KnowledgeBase`); if the stored vector has a
+    different layer count it is linearly re-interpolated, which is the
+    standard parameter-transfer trick.
+    """
+    if strategy == "fixed":
+        return fixed_init(p)
+    if strategy == "ramp":
+        return linear_ramp_init(p)
+    if strategy == "random":
+        return random_init(p, rng=rng)
+    if strategy == "warm":
+        if warm_start is None:
+            raise ValueError("warm strategy requires warm_start parameters")
+        return transfer_parameters(np.asarray(warm_start, dtype=np.float64), p)
+    raise ValueError(f"unknown parameter strategy {strategy!r}")
+
+
+def transfer_parameters(params: np.ndarray, p_new: int) -> np.ndarray:
+    """Re-interpolate a (γ, β) schedule onto a different layer count.
+
+    Standard linear interpolation of the per-layer schedules, preserving the
+    annealing-path shape (used when the knowledge base stores parameters at a
+    different p than requested).
+    """
+    if len(params) % 2 != 0:
+        raise ValueError("parameter vector must have even length")
+    p_old = len(params) // 2
+    if p_old == p_new:
+        return params.copy()
+    old_grid = np.linspace(0.0, 1.0, p_old) if p_old > 1 else np.array([0.5])
+    new_grid = np.linspace(0.0, 1.0, p_new) if p_new > 1 else np.array([0.5])
+    gammas = np.interp(new_grid, old_grid, params[:p_old])
+    betas = np.interp(new_grid, old_grid, params[p_old:])
+    return np.concatenate([gammas, betas])
+
+
+def default_iterations(p: int, lo: int = 30, hi: int = 100) -> int:
+    """The paper's iteration budget: "linearly dependent on p, ranging from
+    30 to 100 steps" for p ∈ {3..8}."""
+    p_min, p_max = 3, 8
+    if p <= p_min:
+        return lo
+    if p >= p_max:
+        return hi
+    frac = (p - p_min) / (p_max - p_min)
+    return int(round(lo + frac * (hi - lo)))
+
+
+__all__ = [
+    "fixed_init",
+    "linear_ramp_init",
+    "random_init",
+    "initial_parameters",
+    "transfer_parameters",
+    "default_iterations",
+]

@@ -1,0 +1,37 @@
+"""The QAOA² divide step, re-exported with the paper's vocabulary.
+
+Thin naming layer over :mod:`repro.graphs.partition`: the paper's step 2
+is "partition into sub-graphs in which the number of nodes does not exceed
+the number of qubits, recursively re-dividing oversized communities".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import PartitionResult, partition_with_cap
+from repro.util.rng import RngLike
+
+
+def divide(
+    graph: Graph,
+    n_qubits: int,
+    *,
+    method: str = "greedy_modularity",
+    rng: RngLike = None,
+) -> PartitionResult:
+    """Partition ``graph`` so every sub-graph fits in ``n_qubits`` qubits."""
+    return partition_with_cap(graph, n_qubits, method=method, rng=rng)
+
+
+def extract_subgraphs(
+    graph: Graph, partition: PartitionResult
+) -> List[Tuple[Graph, np.ndarray]]:
+    """Materialise the induced sub-graph (+ original-node map) per part."""
+    return [graph.subgraph(part) for part in partition.parts]
+
+
+__all__ = ["divide", "extract_subgraphs"]

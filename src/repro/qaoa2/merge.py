@@ -1,0 +1,123 @@
+"""The QAOA² merge step (paper §3.3 steps 4-5).
+
+Given sub-graph solutions, a *merged graph* is built with one node per
+sub-graph:
+
+    4(a) each sub-graph is represented by a node;
+    4(b) each cross edge that is part of the current cut gets its weight
+         multiplied by −1, uncut cross edges keep their weight;
+    4(c) all (signed) cross edges between two sub-graphs are summed into a
+         single merged edge.
+
+Solving MaxCut on the merged graph decides which sub-graphs to *flip*
+(step 5: "if a node in the new graph is −1, all the nodes in the sub-graph
+represented by this node are flipped").
+
+Why this is exact bookkeeping: flipping whole sub-graphs never changes
+intra-sub-graph cut contributions; a cross edge (i, j) between sub-graphs
+A and B toggles its cut status iff exactly one of A, B flips.  Writing
+d_AB = 1 when A and B land on opposite sides of the merged cut,
+
+    cross-cut after flips = C0 + Σ_{A<B} W̃_AB · d_AB,
+
+with C0 the currently-cut cross weight and W̃_AB = Σ_uncut w − Σ_cut w the
+merged weight from 4(b)+4(c).  Maximising the merged cut therefore
+maximises exactly the achievable cross-cut gain — this identity is
+property-tested in ``tests/test_qaoa2_merge.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import as_binary, cut_value
+
+
+@dataclass
+class MergeProblem:
+    """Merged graph plus the bookkeeping needed to lift its solution."""
+
+    merged_graph: Graph
+    baseline_cross_cut: float  # C0: cross weight already cut before flips
+    intra_cut: float  # Σ intra-sub-graph cut (invariant under flips)
+    membership: np.ndarray  # node -> part id
+
+    @property
+    def baseline_total_cut(self) -> float:
+        """Total cut if no sub-graph is flipped (merged solution = all zeros)."""
+        return self.intra_cut + self.baseline_cross_cut
+
+    def total_cut_for(self, merged_assignment: np.ndarray) -> float:
+        """Predicted global cut for a merged-graph assignment (the identity)."""
+        merged_cut = cut_value(self.merged_graph, merged_assignment)
+        return self.intra_cut + self.baseline_cross_cut + merged_cut
+
+
+def assemble_global_assignment(
+    n_nodes: int, parts: Sequence[np.ndarray], local_assignments: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Scatter per-part local assignments into one global 0/1 array."""
+    x = np.zeros(n_nodes, dtype=np.uint8)
+    for part, local in zip(parts, local_assignments):
+        local = as_binary(np.asarray(local))
+        if len(local) != len(part):
+            raise ValueError("local assignment length mismatch with part size")
+        x[part] = local
+    return x
+
+
+def build_merge_problem(
+    graph: Graph,
+    parts: Sequence[np.ndarray],
+    membership: np.ndarray,
+    global_assignment: np.ndarray,
+) -> MergeProblem:
+    """Construct the merged graph for the current sub-graph solutions."""
+    x = as_binary(global_assignment)
+    membership = np.asarray(membership, dtype=np.int64)
+    n_parts = len(parts)
+    pu = membership[graph.u]
+    pv = membership[graph.v]
+    cross = pu != pv
+    cu, cv, cw = graph.u[cross], graph.v[cross], graph.w[cross]
+    cpu, cpv = pu[cross], pv[cross]
+    is_cut = x[cu] != x[cv]
+    baseline_cross = float(cw[is_cut].sum())
+    signed = np.where(is_cut, -cw, cw)
+    merged_edges = list(zip(cpu.tolist(), cpv.tolist(), signed.tolist()))
+    merged_graph = Graph.from_edges(n_parts, merged_edges, sum_duplicates=True)
+    # Intra cut = total cut − cross cut of the current assignment.
+    total = cut_value(graph, x)
+    intra = total - baseline_cross
+    return MergeProblem(merged_graph, baseline_cross, intra, membership)
+
+
+def apply_flips(
+    global_assignment: np.ndarray,
+    parts: Sequence[np.ndarray],
+    merged_assignment: np.ndarray,
+) -> np.ndarray:
+    """Step 5: flip every node of each sub-graph whose merged label is 1.
+
+    (Merged label 1 corresponds to the −1 spin in the paper's wording.)
+    """
+    x = as_binary(global_assignment).copy()
+    merged = as_binary(merged_assignment)
+    if len(merged) != len(parts):
+        raise ValueError("merged assignment length != number of parts")
+    for part, flip in zip(parts, merged):
+        if flip:
+            x[part] ^= 1
+    return x
+
+
+__all__ = [
+    "MergeProblem",
+    "assemble_global_assignment",
+    "build_merge_problem",
+    "apply_flips",
+]

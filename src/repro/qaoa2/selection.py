@@ -1,0 +1,73 @@
+"""Run-time method-selection policies for QAOA² sub-graphs (paper §3.6).
+
+The paper's SLURM MPMD setup allocates a mixture of quantum and classical
+resources and chooses, per sub-graph, whether QAOA or GW solves it.  The
+grid search of Fig. 3 is the "simple, yet instructive, knowledge base" that
+informs this choice; Moussa et al. [35] do it with an ML classifier.  All
+three mechanisms are implemented here as callables plugging straight into
+:class:`repro.qaoa2.solver.QAOA2Solver` (``subgraph_method=policy``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.graphs.graph import Graph
+
+
+@dataclass
+class DensityPolicy:
+    """Static rule distilled from Fig. 3: QAOA wins mostly at small edge
+    probabilities; solve dense sub-graphs classically.
+
+    ``qaoa`` when the sub-graph density is below ``threshold`` (and the
+    sub-graph is non-trivial), else ``gw``.
+    """
+
+    threshold: float = 0.25
+    min_nodes: int = 3
+
+    def __call__(self, subgraph: Graph) -> str:
+        if subgraph.n_nodes < self.min_nodes or subgraph.n_edges == 0:
+            return "gw"
+        return "qaoa" if subgraph.density < self.threshold else "gw"
+
+
+@dataclass
+class KnowledgeBasePolicy:
+    """Look up QAOA-vs-GW win rates recorded by the Fig. 3 grid search.
+
+    Delegates to :meth:`repro.ml.knowledge.KnowledgeBase.recommend_method`;
+    falls back to ``default`` when the knowledge base has no data near the
+    sub-graph's (node count, density) cell.
+    """
+
+    knowledge_base: object  # repro.ml.knowledge.KnowledgeBase
+    default: str = "gw"
+
+    def __call__(self, subgraph: Graph) -> str:
+        method = self.knowledge_base.recommend_method(
+            subgraph.n_nodes, subgraph.density, subgraph.is_weighted
+        )
+        return method if method is not None else self.default
+
+
+@dataclass
+class ClassifierPolicy:
+    """Moussa-et-al-style learned selector (paper ref. [35]).
+
+    Wraps a trained :class:`repro.ml.classifier.MethodClassifier`; predicts
+    ``qaoa`` or ``gw`` from graph features.
+    """
+
+    classifier: object  # repro.ml.classifier.MethodClassifier
+    default: str = "gw"
+
+    def __call__(self, subgraph: Graph) -> str:
+        if subgraph.n_edges == 0:
+            return self.default
+        return self.classifier.predict_method(subgraph)
+
+
+__all__ = ["DensityPolicy", "KnowledgeBasePolicy", "ClassifierPolicy"]

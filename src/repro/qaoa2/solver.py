@@ -1,0 +1,346 @@
+"""QAOA-in-QAOA driver (paper §3.3) — the core contribution.
+
+Steps, matching the paper's enumeration:
+
+1. Fix the qubit budget ``n_max_qubits``, ansatz depth and iteration count.
+2. Partition the graph with greedy modularity, recursively re-partitioning
+   any community exceeding the budget (:mod:`repro.graphs.partition`).
+3. Solve all sub-graphs *in parallel* (configurable executor backend) with
+   QAOA, GW, the better of the two, or a run-time selection policy —
+   the hybrid resource-mix idea of §3.6.
+4. Build the merged graph with sign-flipped cut edges
+   (:mod:`repro.qaoa2.merge`).
+5. Solve the merged graph (recursively if it still exceeds the budget;
+   classical by default at deeper levels, as in the paper) and flip the
+   sub-graphs selected by its solution.
+
+The method distinction (QAOA / GW / best / policy) applies to the first
+partitioning level only, exactly as in the paper's preliminary setup; all
+deeper levels use ``merged_method``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.classical.gw import goemans_williamson
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import CutResult, cut_value
+from repro.graphs.partition import partition_with_cap
+from repro.hpc.executor import ExecutorConfig, map_jobs
+from repro.qaoa.solver import QAOASolver
+from repro.qaoa2.merge import (
+    apply_flips,
+    assemble_global_assignment,
+    build_merge_problem,
+)
+from repro.util.rng import RngLike, ensure_rng
+
+MethodPolicy = Union[str, Callable[[Graph], str]]
+
+
+@dataclass
+class SubgraphRecord:
+    """Per-sub-problem trace entry (feeds the ML testbed and Fig. 4 stats)."""
+
+    level: int
+    part_id: int
+    n_nodes: int
+    n_edges: int
+    method: str
+    cut: float
+    qaoa_cut: Optional[float] = None
+    gw_cut: Optional[float] = None
+    gw_average: Optional[float] = None
+    elapsed: float = 0.0
+
+
+@dataclass
+class LevelRecord:
+    """Per-recursion-level accounting (validates the ~log_n N level count)."""
+
+    level: int
+    n_nodes: int
+    n_parts: int
+    merged_nodes: int
+    merged_gain: float
+    elapsed: float
+
+
+@dataclass
+class QAOA2Result:
+    """Global solution plus the full divide/merge trace."""
+
+    assignment: np.ndarray
+    cut: float
+    levels: List[LevelRecord] = field(default_factory=list)
+    subgraphs: List[SubgraphRecord] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_subproblems(self) -> int:
+        return len(self.subgraphs)
+
+    def method_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rec in self.subgraphs:
+            counts[rec.method] = counts.get(rec.method, 0) + 1
+        return counts
+
+    def as_cut_result(self) -> CutResult:
+        return CutResult(self.assignment, self.cut, "qaoa2", dict(self.extra))
+
+
+# ---------------------------------------------------------------------------
+# Sub-graph job (module level so the process backend can pickle it)
+# ---------------------------------------------------------------------------
+def _solve_subgraph_job(payload: dict) -> dict:
+    """Solve one sub-graph with the requested method; returns a plain dict."""
+    graph: Graph = payload["graph"]
+    method: str = payload["method"]
+    seed: int = payload["seed"]
+    qaoa_options: dict = payload["qaoa_options"]
+    qaoa_grid: Optional[Sequence[dict]] = payload["qaoa_grid"]
+    gw_options: dict = payload["gw_options"]
+
+    start = time.perf_counter()
+    out: dict = {"method": method, "qaoa_cut": None, "gw_cut": None, "gw_average": None}
+
+    def run_qaoa() -> CutResult:
+        configs = qaoa_grid if qaoa_grid else [{}]
+        best: Optional[CutResult] = None
+        for offset, overrides in enumerate(configs):
+            options = {**qaoa_options, **overrides}
+            solver = QAOASolver(rng=seed + offset, **options)
+            result = solver.solve(graph).as_cut_result()
+            if best is None or result.cut > best.cut:
+                best = result
+        return best
+
+    def run_gw() -> CutResult:
+        gw = goemans_williamson(graph, rng=seed + 7919, **gw_options)
+        out["gw_average"] = gw.average_cut
+        return gw.as_cut_result()
+
+    if method == "qaoa":
+        chosen = run_qaoa()
+        out["qaoa_cut"] = chosen.cut
+    elif method == "gw":
+        chosen = run_gw()
+        out["gw_cut"] = chosen.cut
+    elif method == "best":
+        q = run_qaoa()
+        g = run_gw()
+        out["qaoa_cut"] = q.cut
+        out["gw_cut"] = g.cut
+        chosen = q if q.cut >= g.cut else g
+        out["method"] = f"best:{chosen.method}"
+    elif method == "rqaoa":
+        # The paper (§3.2): RQAOA "can also be leveraged using QAOA² to get
+        # a good global solution for very large problems".
+        from repro.qaoa.rqaoa import rqaoa_solve
+
+        layers = int(qaoa_options.get("layers", 2))
+        chosen = rqaoa_solve(graph, layers=layers, rng=seed).as_cut_result()
+        out["qaoa_cut"] = chosen.cut
+    elif method == "anneal":
+        # QUBO/annealer path (§1's "conversely formulated as QUBO" remark).
+        from repro.classical.qubo import SimulatedAnnealerSampler
+
+        chosen = SimulatedAnnealerSampler().sample_maxcut(
+            graph, num_reads=8, rng=seed
+        )
+    else:
+        raise ValueError(f"unknown sub-graph method {method!r}")
+
+    out["assignment"] = chosen.assignment
+    out["cut"] = chosen.cut
+    out["elapsed"] = time.perf_counter() - start
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The driver
+# ---------------------------------------------------------------------------
+@dataclass
+class QAOA2Solver:
+    """Divide-and-conquer MaxCut solver.
+
+    Parameters
+    ----------
+    n_max_qubits:
+        Qubit budget per sub-problem (paper step 1).
+    subgraph_method:
+        ``"qaoa"`` | ``"gw"`` | ``"best"`` | ``"rqaoa"`` | ``"anneal"`` or a
+        callable ``Graph -> method`` (run-time selection policy, §3.6) —
+        applied at the first level only.  ``rqaoa`` and ``anneal`` are the
+        extension solvers the paper mentions (refs. [47], [29]).
+    merged_method:
+        Solver for merged graphs and deeper levels (paper: classical,
+        default ``"gw"``; ``"qaoa"`` allowed for ablations).
+    qaoa_options / qaoa_grid / gw_options:
+        Forwarded to the leaf solvers; ``qaoa_grid`` is a list of option
+        overrides, the best cut over the grid is kept (the Fig. 4 setup runs
+        the full (p, rhobeg) grid per sub-graph).
+    partition_method:
+        Community detector (see :func:`repro.graphs.partition.partition_with_cap`).
+    executor:
+        Parallel backend for the per-level sub-graph batch.
+    """
+
+    n_max_qubits: int = 10
+    subgraph_method: MethodPolicy = "qaoa"
+    merged_method: str = "gw"
+    qaoa_options: dict = field(default_factory=dict)
+    qaoa_grid: Optional[Sequence[dict]] = None
+    gw_options: dict = field(default_factory=dict)
+    partition_method: str = "greedy_modularity"
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    rng: RngLike = None
+    max_levels: int = 32
+
+    def solve(self, graph: Graph) -> QAOA2Result:
+        gen = ensure_rng(self.rng)
+        records: List[SubgraphRecord] = []
+        levels: List[LevelRecord] = []
+        assignment = self._recurse(graph, 0, gen, records, levels)
+        cut = cut_value(graph, assignment)
+        return QAOA2Result(
+            assignment=assignment,
+            cut=cut,
+            levels=levels,
+            subgraphs=records,
+            extra={
+                "n_max_qubits": self.n_max_qubits,
+                "partition_method": self.partition_method,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _method_for(self, subgraph: Graph, level: int) -> str:
+        if level > 0:
+            return self.merged_method
+        if callable(self.subgraph_method):
+            method = self.subgraph_method(subgraph)
+            if method not in ("qaoa", "gw", "best", "rqaoa", "anneal"):
+                raise ValueError(f"policy returned unknown method {method!r}")
+            return method
+        return self.subgraph_method
+
+    def _leaf_payload(self, subgraph: Graph, level: int, seed: int) -> dict:
+        return {
+            "graph": subgraph,
+            "method": self._method_for(subgraph, level),
+            "seed": seed,
+            "qaoa_options": dict(self.qaoa_options),
+            "qaoa_grid": self.qaoa_grid if level == 0 else None,
+            "gw_options": dict(self.gw_options),
+        }
+
+    def _recurse(
+        self,
+        graph: Graph,
+        level: int,
+        gen: np.random.Generator,
+        records: List[SubgraphRecord],
+        levels: List[LevelRecord],
+    ) -> np.ndarray:
+        if level >= self.max_levels:
+            raise RuntimeError("QAOA2 recursion exceeded max_levels")
+        start = time.perf_counter()
+        if graph.n_nodes <= self.n_max_qubits:
+            payload = self._leaf_payload(graph, level, int(gen.integers(2**31)))
+            result = _solve_subgraph_job(payload)
+            records.append(
+                SubgraphRecord(
+                    level=level,
+                    part_id=0,
+                    n_nodes=graph.n_nodes,
+                    n_edges=graph.n_edges,
+                    method=result["method"],
+                    cut=result["cut"],
+                    qaoa_cut=result["qaoa_cut"],
+                    gw_cut=result["gw_cut"],
+                    gw_average=result["gw_average"],
+                    elapsed=result["elapsed"],
+                )
+            )
+            return result["assignment"]
+
+        partition = partition_with_cap(
+            graph, self.n_max_qubits, method=self.partition_method, rng=gen
+        )
+        payloads = []
+        for part_id, part in enumerate(partition.parts):
+            subgraph, _ = graph.subgraph(part)
+            payloads.append(
+                (part_id, self._leaf_payload(subgraph, level, int(gen.integers(2**31))))
+            )
+        results = map_jobs(
+            _solve_subgraph_job, [p for _, p in payloads], config=self.executor
+        )
+        local_assignments: List[np.ndarray] = []
+        for (part_id, payload), result in zip(payloads, results):
+            sub = payload["graph"]
+            records.append(
+                SubgraphRecord(
+                    level=level,
+                    part_id=part_id,
+                    n_nodes=sub.n_nodes,
+                    n_edges=sub.n_edges,
+                    method=result["method"],
+                    cut=result["cut"],
+                    qaoa_cut=result["qaoa_cut"],
+                    gw_cut=result["gw_cut"],
+                    gw_average=result["gw_average"],
+                    elapsed=result["elapsed"],
+                )
+            )
+            local_assignments.append(result["assignment"])
+
+        x = assemble_global_assignment(
+            graph.n_nodes, partition.parts, local_assignments
+        )
+        merge = build_merge_problem(graph, partition.parts, partition.membership, x)
+        merged_assignment = self._recurse(
+            merge.merged_graph, level + 1, gen, records, levels
+        )
+        # Never regress below the unflipped configuration: a merged solution
+        # with negative cut is worse than flipping nothing.
+        merged_cut = cut_value(merge.merged_graph, merged_assignment)
+        if merged_cut < 0.0:
+            merged_assignment = np.zeros(merge.merged_graph.n_nodes, dtype=np.uint8)
+        final = apply_flips(x, partition.parts, merged_assignment)
+        levels.append(
+            LevelRecord(
+                level=level,
+                n_nodes=graph.n_nodes,
+                n_parts=partition.n_parts,
+                merged_nodes=merge.merged_graph.n_nodes,
+                merged_gain=max(merged_cut, 0.0),
+                elapsed=time.perf_counter() - start,
+            )
+        )
+        return final
+
+
+def expected_subproblem_count(n_nodes: int, n_qubits: int) -> float:
+    """The paper's estimate: ~N(nᵃ − 1)/(nᵃ(n − 1)) sub-graphs over
+    a ≈ ⌈log_n N⌉ − 1 levels."""
+    if n_qubits < 2 or n_nodes <= n_qubits:
+        return 1.0
+    a = max(1, int(np.ceil(np.log(n_nodes) / np.log(n_qubits))) - 1)
+    return n_nodes * (n_qubits**a - 1) / (n_qubits**a * (n_qubits - 1))
+
+
+__all__ = [
+    "SubgraphRecord",
+    "LevelRecord",
+    "QAOA2Result",
+    "QAOA2Solver",
+    "expected_subproblem_count",
+]

@@ -1,0 +1,74 @@
+"""Quantum substrate: gates, circuit IR, statevector simulation (local and
+distributed cache-blocked), Ising Hamiltonians."""
+
+from repro.quantum.circuit import Circuit, Instruction, ParamRef
+from repro.quantum.distributed import CommStats, DistributedStatevector, MachineModel
+from repro.quantum.gates import GATE_SET, gate_matrix, is_unitary
+from repro.quantum.noise import (
+    DephasingChannel,
+    DepolarizingChannel,
+    NoiseModel,
+    ReadoutError,
+    mitigate_readout,
+    noisy_expectation,
+    noisy_qaoa_statevector,
+)
+from repro.quantum.pauli import IsingHamiltonian, maxcut_diagonal, zz_correlations
+from repro.quantum.simulator import (
+    DEFAULT_SHOTS,
+    SimulationResult,
+    StatevectorSimulator,
+    run_qaoa_reference,
+)
+from repro.quantum.statevector import (
+    apply_diagonal,
+    apply_gate,
+    apply_one_qubit,
+    apply_rx_layer,
+    basis_state,
+    expectation_diagonal,
+    fidelity,
+    plus_state,
+    probabilities,
+    sample_counts,
+    top_amplitudes,
+    zero_state,
+)
+
+__all__ = [
+    "Circuit",
+    "Instruction",
+    "ParamRef",
+    "GATE_SET",
+    "gate_matrix",
+    "is_unitary",
+    "IsingHamiltonian",
+    "maxcut_diagonal",
+    "zz_correlations",
+    "DEFAULT_SHOTS",
+    "SimulationResult",
+    "StatevectorSimulator",
+    "run_qaoa_reference",
+    "CommStats",
+    "DistributedStatevector",
+    "MachineModel",
+    "zero_state",
+    "plus_state",
+    "basis_state",
+    "apply_gate",
+    "apply_one_qubit",
+    "apply_diagonal",
+    "apply_rx_layer",
+    "probabilities",
+    "sample_counts",
+    "top_amplitudes",
+    "expectation_diagonal",
+    "fidelity",
+    "DepolarizingChannel",
+    "DephasingChannel",
+    "NoiseModel",
+    "ReadoutError",
+    "noisy_qaoa_statevector",
+    "noisy_expectation",
+    "mitigate_readout",
+]

@@ -1,0 +1,238 @@
+"""Quantum circuit intermediate representation.
+
+The circuit IR is deliberately small: a list of instructions over named
+gates from :mod:`repro.quantum.gates`, with optional symbolic parameters
+(:class:`ParamRef`) so a single ansatz structure can be rebound cheaply
+inside the optimiser loop.  The synthesis layer (:mod:`repro.synth`) emits
+and transforms these circuits; the simulator executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.quantum.gates import DIAGONAL_GATES, GATE_SET
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """Symbolic parameter: value = ``coeff * params[index]``.
+
+    The QAOA ansatz uses this to tie every cost-layer RZZ angle to the layer's
+    single γ (scaled by the edge weight) and every mixer RX to the layer's β.
+    """
+
+    index: int
+    coeff: float = 1.0
+
+    def resolve(self, params: Sequence[float]) -> float:
+        return self.coeff * float(params[self.index])
+
+    def __mul__(self, factor: float) -> "ParamRef":
+        return ParamRef(self.index, self.coeff * float(factor))
+
+    __rmul__ = __mul__
+
+
+ParamLike = Union[float, ParamRef]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application: name, target qubits, parameters."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamLike, ...] = ()
+
+    @property
+    def is_parametric(self) -> bool:
+        return any(isinstance(p, ParamRef) for p in self.params)
+
+    def bind(self, values: Sequence[float]) -> "Instruction":
+        if not self.is_parametric:
+            return self
+        resolved = tuple(
+            p.resolve(values) if isinstance(p, ParamRef) else p for p in self.params
+        )
+        return Instruction(self.name, self.qubits, resolved)
+
+
+class Circuit:
+    """Mutable gate list over ``n_qubits`` qubits with builder methods.
+
+    Example
+    -------
+    >>> qc = Circuit(2)
+    >>> qc.h(0).cx(0, 1)                      # doctest: +ELLIPSIS
+    <repro.quantum.circuit.Circuit object at ...>
+    >>> qc.depth()
+    2
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        instructions: Optional[Iterable[Instruction]] = None,
+        *,
+        n_params: int = 0,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        if n_qubits < 0:
+            raise ValueError("n_qubits must be non-negative")
+        self.n_qubits = int(n_qubits)
+        self.instructions: List[Instruction] = list(instructions or [])
+        self.n_params = int(n_params)
+        self.metadata: dict = dict(metadata or {})
+
+    # ------------------------------------------------------------------
+    # Builder API
+    # ------------------------------------------------------------------
+    def append(
+        self, name: str, qubits: Sequence[int], params: Sequence[ParamLike] = ()
+    ) -> "Circuit":
+        if name not in GATE_SET:
+            raise ValueError(f"unknown gate {name!r}")
+        _, n_q, n_p = GATE_SET[name]
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != n_q:
+            raise ValueError(f"gate {name!r} acts on {n_q} qubit(s), got {qubits}")
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"duplicate qubits in {name!r}: {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range [0, {self.n_qubits})")
+        params = tuple(params)
+        if len(params) != n_p:
+            raise ValueError(f"gate {name!r} expects {n_p} parameter(s)")
+        for p in params:
+            if isinstance(p, ParamRef):
+                self.n_params = max(self.n_params, p.index + 1)
+        self.instructions.append(Instruction(name, qubits, params))
+        return self
+
+    # Convenience single/two-qubit builders (chainable).
+    def h(self, q: int) -> "Circuit":
+        return self.append("h", (q,))
+
+    def x(self, q: int) -> "Circuit":
+        return self.append("x", (q,))
+
+    def y(self, q: int) -> "Circuit":
+        return self.append("y", (q,))
+
+    def z(self, q: int) -> "Circuit":
+        return self.append("z", (q,))
+
+    def s(self, q: int) -> "Circuit":
+        return self.append("s", (q,))
+
+    def t(self, q: int) -> "Circuit":
+        return self.append("t", (q,))
+
+    def rx(self, theta: ParamLike, q: int) -> "Circuit":
+        return self.append("rx", (q,), (theta,))
+
+    def ry(self, theta: ParamLike, q: int) -> "Circuit":
+        return self.append("ry", (q,), (theta,))
+
+    def rz(self, theta: ParamLike, q: int) -> "Circuit":
+        return self.append("rz", (q,), (theta,))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.append("cz", (a, b))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.append("swap", (a, b))
+
+    def rzz(self, theta: ParamLike, a: int, b: int) -> "Circuit":
+        return self.append("rzz", (a, b), (theta,))
+
+    # ------------------------------------------------------------------
+    # Parameter binding
+    # ------------------------------------------------------------------
+    @property
+    def is_parametric(self) -> bool:
+        return any(ins.is_parametric for ins in self.instructions)
+
+    def bind(self, values: Sequence[float]) -> "Circuit":
+        """Return a concrete circuit with all :class:`ParamRef` resolved."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) < self.n_params:
+            raise ValueError(
+                f"need {self.n_params} parameter values, got {len(values)}"
+            )
+        bound = Circuit(self.n_qubits, n_params=0, metadata=dict(self.metadata))
+        bound.instructions = [ins.bind(values) for ins in self.instructions]
+        return bound
+
+    # ------------------------------------------------------------------
+    # Metrics (the synthesis layer optimises these)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Circuit depth under the all-to-all connectivity ASAP schedule."""
+        level = [0] * self.n_qubits
+        depth = 0
+        for ins in self.instructions:
+            start = max(level[q] for q in ins.qubits) + 1
+            for q in ins.qubits:
+                level[q] = start
+            depth = max(depth, start)
+        return depth
+
+    def gate_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for ins in self.instructions:
+            counts[ins.name] = counts.get(ins.name, 0) + 1
+        return counts
+
+    def two_qubit_count(self) -> int:
+        return sum(1 for ins in self.instructions if len(ins.qubits) == 2)
+
+    def size(self) -> int:
+        return len(self.instructions)
+
+    def is_diagonal(self) -> bool:
+        """True when every gate is diagonal in the computational basis."""
+        return all(ins.name in DIAGONAL_GATES for ins in self.instructions)
+
+    # ------------------------------------------------------------------
+    # Composition / misc
+    # ------------------------------------------------------------------
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Concatenate ``other`` after ``self`` (same qubit count required)."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("qubit count mismatch in compose")
+        out = Circuit(
+            self.n_qubits,
+            self.instructions + other.instructions,
+            n_params=max(self.n_params, other.n_params),
+            metadata={**self.metadata, **other.metadata},
+        )
+        return out
+
+    def copy(self) -> "Circuit":
+        return Circuit(
+            self.n_qubits,
+            list(self.instructions),
+            n_params=self.n_params,
+            metadata=dict(self.metadata),
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit(n_qubits={self.n_qubits}, size={self.size()}, "
+            f"depth={self.depth()}, params={self.n_params})"
+        )
+
+
+__all__ = ["ParamRef", "ParamLike", "Instruction", "Circuit"]

@@ -1,0 +1,157 @@
+"""Gate matrix definitions for the statevector simulator.
+
+Conventions
+-----------
+* Qubit ``q`` corresponds to bit ``q`` of the basis-state index
+  (little-endian, matching Qiskit).
+* For multi-qubit gate matrices, the *first listed qubit is the most
+  significant bit* of the gate's own 2^k index, i.e. ``CX(control, target)``
+  uses the textbook matrix with the control as MSB.
+* Rotation angles follow the standard convention ``RZ(θ) = exp(-i θ Z / 2)``
+  etc., so the QAOA cost layer ``exp(-i γ H_C)`` maps to ``RZZ`` angles as
+  derived in :mod:`repro.synth.synthesis`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+SQ2 = 1.0 / np.sqrt(2.0)
+
+# ---------------------------------------------------------------------------
+# Fixed gates
+# ---------------------------------------------------------------------------
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[SQ2, SQ2], [SQ2, -SQ2]], dtype=np.complex128)
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+TDG = T.conj().T
+
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=np.complex128
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+)
+
+
+# ---------------------------------------------------------------------------
+# Parameterised gates
+# ---------------------------------------------------------------------------
+def rx(theta: float) -> np.ndarray:
+    """RX(θ) = exp(-i θ X / 2)."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """RY(θ) = exp(-i θ Y / 2)."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """RZ(θ) = exp(-i θ Z / 2) (diagonal)."""
+    phase = np.exp(-0.5j * theta)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=np.complex128)
+
+
+def p(lam: float) -> np.ndarray:
+    """Phase gate diag(1, e^{iλ})."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=np.complex128)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """RZZ(θ) = exp(-i θ Z⊗Z / 2) (diagonal two-qubit gate)."""
+    a = np.exp(-0.5j * theta)
+    b = np.exp(0.5j * theta)
+    return np.diag([a, b, b, a]).astype(np.complex128)
+
+
+def rxx(theta: float) -> np.ndarray:
+    """RXX(θ) = exp(-i θ X⊗X / 2)."""
+    c, s = np.cos(theta / 2.0), -1j * np.sin(theta / 2.0)
+    m = np.zeros((4, 4), dtype=np.complex128)
+    m[0, 0] = m[1, 1] = m[2, 2] = m[3, 3] = c
+    m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = s
+    return m
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ (control is the first/MSB qubit)."""
+    m = np.eye(4, dtype=np.complex128)
+    m[2, 2] = np.exp(-0.5j * theta)
+    m[3, 3] = np.exp(0.5j * theta)
+    return m
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit rotation U3(θ, φ, λ)."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+# name -> (matrix factory, n_qubits, n_params).  Factories for fixed gates
+# take no arguments; parameterised factories take their angle(s).
+GATE_SET: Dict[str, Tuple[Callable[..., np.ndarray], int, int]] = {
+    "i": (lambda: I2, 1, 0),
+    "x": (lambda: X, 1, 0),
+    "y": (lambda: Y, 1, 0),
+    "z": (lambda: Z, 1, 0),
+    "h": (lambda: H, 1, 0),
+    "s": (lambda: S, 1, 0),
+    "sdg": (lambda: SDG, 1, 0),
+    "t": (lambda: T, 1, 0),
+    "tdg": (lambda: TDG, 1, 0),
+    "rx": (rx, 1, 1),
+    "ry": (ry, 1, 1),
+    "rz": (rz, 1, 1),
+    "p": (p, 1, 1),
+    "u3": (u3, 1, 3),
+    "cx": (lambda: CX, 2, 0),
+    "cz": (lambda: CZ, 2, 0),
+    "swap": (lambda: SWAP, 2, 0),
+    "rzz": (rzz, 2, 1),
+    "rxx": (rxx, 2, 1),
+    "crz": (crz, 2, 1),
+}
+
+DIAGONAL_GATES = frozenset({"i", "z", "s", "sdg", "t", "tdg", "rz", "p", "cz", "rzz"})
+
+
+def gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Resolve a gate name + params to its unitary matrix."""
+    try:
+        factory, _, n_params = GATE_SET[name]
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None
+    if len(params) != n_params:
+        raise ValueError(
+            f"gate {name!r} expects {n_params} parameter(s), got {len(params)}"
+        )
+    return factory(*params)
+
+
+def is_unitary(m: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check unitarity (used by property tests)."""
+    return bool(np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=atol))
+
+
+__all__ = [
+    "I2", "X", "Y", "Z", "H", "S", "SDG", "T", "TDG", "CX", "CZ", "SWAP",
+    "rx", "ry", "rz", "p", "rzz", "rxx", "crz", "u3",
+    "GATE_SET", "DIAGONAL_GATES", "gate_matrix", "is_unitary",
+]

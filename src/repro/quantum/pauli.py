@@ -1,0 +1,169 @@
+"""Ising (Pauli-Z) Hamiltonians and their diagonal representation.
+
+The MaxCut problem Hamiltonian (paper Eq. 1) is
+
+    H_C = ½ Σ_{(i,j) ∈ E} w_ij (1 − Z_i Z_j),
+
+whose diagonal in the computational basis is exactly the cut value of every
+bitstring, which is why the fast QAOA simulator and the brute-force exact
+solver share :func:`repro.graphs.maxcut.cut_diagonal`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import cut_diagonal
+from repro.quantum.statevector import expectation_diagonal, probabilities
+
+
+@dataclass
+class IsingHamiltonian:
+    """H = const + Σ h_i Z_i + Σ J_ij Z_i Z_j (all terms diagonal).
+
+    Attributes
+    ----------
+    n_qubits:
+        Number of qubits/spins.
+    constant:
+        Identity coefficient.
+    linear:
+        ``{i: h_i}`` single-Z coefficients.
+    quadratic:
+        ``{(i, j): J_ij}`` with canonical ``i < j`` ordering.
+    """
+
+    n_qubits: int
+    constant: float = 0.0
+    linear: Dict[int, float] = field(default_factory=dict)
+    quadratic: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        canon: Dict[Tuple[int, int], float] = {}
+        for (i, j), coeff in self.quadratic.items():
+            if i == j:
+                raise ValueError("Z_i Z_i term is a constant; fold it in")
+            key = (min(i, j), max(i, j))
+            canon[key] = canon.get(key, 0.0) + coeff
+        self.quadratic = canon
+        for idx in list(self.linear) + [q for key in canon for q in key]:
+            if not 0 <= idx < self.n_qubits:
+                raise ValueError(f"qubit index {idx} out of range")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_maxcut(graph: Graph) -> "IsingHamiltonian":
+        """Paper Eq. 1: H_C = ½ Σ w (1 − Z_i Z_j)."""
+        quadratic = {
+            (int(a), int(b)): -0.5 * float(weight)
+            for a, b, weight in zip(graph.u, graph.v, graph.w)
+        }
+        return IsingHamiltonian(
+            n_qubits=graph.n_nodes,
+            constant=0.5 * graph.total_weight,
+            quadratic=quadratic,
+        )
+
+    # ------------------------------------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """Eigenvalue of every computational basis state (length 2^n).
+
+        Basis state ``x`` has Z_i eigenvalue ``(-1)^{x_i}`` with ``x_i`` the
+        i-th (little-endian) bit.
+        """
+        n = self.n_qubits
+        if n > 28:
+            raise ValueError(f"diagonal infeasible for n={n}")
+        size = 1 << n
+        idx = np.arange(size, dtype=np.uint64)
+        diag = np.full(size, self.constant, dtype=np.float64)
+        for i, h in self.linear.items():
+            z_i = 1.0 - 2.0 * ((idx >> np.uint64(i)) & np.uint64(1)).astype(np.float64)
+            diag += h * z_i
+        for (i, j), coeff in self.quadratic.items():
+            parity = ((idx >> np.uint64(i)) ^ (idx >> np.uint64(j))) & np.uint64(1)
+            diag += coeff * (1.0 - 2.0 * parity.astype(np.float64))
+        return diag
+
+    def value(self, bits: np.ndarray) -> float:
+        """Energy of a single 0/1 assignment (vectorised over terms)."""
+        bits = np.asarray(bits)
+        z = 1.0 - 2.0 * bits.astype(np.float64)
+        total = self.constant
+        for i, h in self.linear.items():
+            total += h * z[i]
+        for (i, j), coeff in self.quadratic.items():
+            total += coeff * z[i] * z[j]
+        return float(total)
+
+    # ------------------------------------------------------------------
+    def expectation(self, state: np.ndarray) -> float:
+        """⟨ψ| H |ψ⟩ via the diagonal representation."""
+        return expectation_diagonal(state, self.diagonal())
+
+    def expectation_from_counts(self, counts: Mapping[int, int]) -> float:
+        """Shot-based estimate of ⟨H⟩ from measurement counts."""
+        total_shots = sum(counts.values())
+        if total_shots == 0:
+            raise ValueError("empty counts")
+        acc = 0.0
+        n = self.n_qubits
+        for basis_index, c in counts.items():
+            bits = (basis_index >> np.arange(n, dtype=np.uint64)) & 1
+            acc += c * self.value(bits)
+        return acc / total_shots
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "IsingHamiltonian") -> "IsingHamiltonian":
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("qubit count mismatch")
+        linear = dict(self.linear)
+        for i, h in other.linear.items():
+            linear[i] = linear.get(i, 0.0) + h
+        quadratic = dict(self.quadratic)
+        for key, coeff in other.quadratic.items():
+            quadratic[key] = quadratic.get(key, 0.0) + coeff
+        return IsingHamiltonian(
+            self.n_qubits, self.constant + other.constant, linear, quadratic
+        )
+
+    def __mul__(self, factor: float) -> "IsingHamiltonian":
+        return IsingHamiltonian(
+            self.n_qubits,
+            self.constant * factor,
+            {i: h * factor for i, h in self.linear.items()},
+            {k: c * factor for k, c in self.quadratic.items()},
+        )
+
+    __rmul__ = __mul__
+
+    def n_terms(self) -> int:
+        return len(self.linear) + len(self.quadratic)
+
+
+def maxcut_diagonal(graph: Graph) -> np.ndarray:
+    """Shared fast path: the H_C diagonal *is* the cut diagonal."""
+    return cut_diagonal(graph)
+
+
+def zz_correlations(state: np.ndarray, pairs) -> np.ndarray:
+    """⟨Z_i Z_j⟩ for each (i, j) pair — used by recursive QAOA.
+
+    Vectorised: one pass over |ψ|² per pair.
+    """
+    probs = probabilities(state)
+    n = int(np.log2(len(state)))
+    idx = np.arange(len(state), dtype=np.uint64)
+    out = np.empty(len(pairs))
+    for k, (i, j) in enumerate(pairs):
+        parity = ((idx >> np.uint64(i)) ^ (idx >> np.uint64(j))) & np.uint64(1)
+        zz = 1.0 - 2.0 * parity.astype(np.float64)
+        out[k] = float(np.dot(probs, zz))
+    return out
+
+
+__all__ = ["IsingHamiltonian", "maxcut_diagonal", "zz_correlations"]

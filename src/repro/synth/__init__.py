@@ -1,0 +1,34 @@
+"""Circuit synthesis substrate (Classiq-platform analogue): high-level
+combinatorial models lowered to optimized gate-level circuits."""
+
+from repro.synth.model import (
+    CombinatorialModel,
+    OptimizationTarget,
+    Preferences,
+    QAOAConfig,
+)
+from repro.synth.passes import (
+    cancel_identities,
+    circuit_metrics,
+    decompose_rzz,
+    fuse_rotations,
+    greedy_edge_coloring,
+    schedule_commuting_layer,
+)
+from repro.synth.synthesis import SynthesisReport, qaoa_ansatz, synthesize
+
+__all__ = [
+    "CombinatorialModel",
+    "OptimizationTarget",
+    "Preferences",
+    "QAOAConfig",
+    "SynthesisReport",
+    "qaoa_ansatz",
+    "synthesize",
+    "greedy_edge_coloring",
+    "schedule_commuting_layer",
+    "fuse_rotations",
+    "cancel_identities",
+    "decompose_rzz",
+    "circuit_metrics",
+]

@@ -1,0 +1,92 @@
+"""High-level combinatorial model (the Classiq-platform analogue, §3.5).
+
+The Classiq platform takes a *functional model* of the problem plus
+optimization preferences and synthesizes an optimized gate-level circuit.
+We mirror that contract: a :class:`CombinatorialModel` captures the problem
+(here: MaxCut → Ising Hamiltonian) and a :class:`QAOAConfig` the ansatz
+structure; :func:`repro.synth.synthesis.synthesize` lowers them to an
+optimized :class:`~repro.quantum.circuit.Circuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.graphs.graph import Graph
+from repro.quantum.pauli import IsingHamiltonian
+from repro.util.validation import check_positive_int
+
+
+class OptimizationTarget(Enum):
+    """What the synthesis engine optimizes over (§3.5 lists these)."""
+
+    DEPTH = "depth"
+    TWO_QUBIT_GATES = "two_qubit_gates"
+    WIDTH = "width"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Preferences:
+    """Synthesis preferences and global constraints.
+
+    Attributes
+    ----------
+    optimize:
+        Primary optimization target.
+    basis:
+        ``"native"`` keeps RZZ as a primitive (simulator-friendly);
+        ``"cx"`` decomposes RZZ into CX·RZ·CX (hardware-style basis
+        {h, rx, rz, cx}), relevant when counting two-qubit gates.
+    max_depth:
+        Optional hard depth constraint; synthesis raises if unsatisfiable.
+    """
+
+    optimize: OptimizationTarget = OptimizationTarget.DEPTH
+    basis: str = "native"
+    max_depth: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.basis not in ("native", "cx"):
+            raise ValueError(f"unknown basis {self.basis!r}")
+
+
+@dataclass(frozen=True)
+class QAOAConfig:
+    """Ansatz structure: number of layers p (paper Eq. 2)."""
+
+    layers: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.layers, "layers")
+
+
+@dataclass
+class CombinatorialModel:
+    """Problem description handed to the synthesis engine.
+
+    Currently MaxCut-backed; the Hamiltonian field allows arbitrary Ising
+    problems (e.g. the QUBO view mentioned in the introduction).
+    """
+
+    hamiltonian: IsingHamiltonian
+    qaoa: QAOAConfig = field(default_factory=QAOAConfig)
+    name: str = "maxcut"
+
+    @property
+    def n_qubits(self) -> int:
+        return self.hamiltonian.n_qubits
+
+    @staticmethod
+    def maxcut(graph: Graph, layers: int = 3) -> "CombinatorialModel":
+        """Build the MaxCut model for ``graph`` with a ``layers``-deep ansatz."""
+        return CombinatorialModel(
+            hamiltonian=IsingHamiltonian.from_maxcut(graph),
+            qaoa=QAOAConfig(layers=layers),
+            name="maxcut",
+        )
+
+
+__all__ = ["OptimizationTarget", "Preferences", "QAOAConfig", "CombinatorialModel"]

@@ -1,0 +1,233 @@
+"""Circuit optimization passes for the synthesis engine.
+
+These are the transformations behind the "synthesize more optimized
+quantum circuits compared to a manual construction" claim (§3.5):
+
+* :func:`schedule_commuting_layer` — RZZ gates within one QAOA cost layer
+  all commute, so they can be reordered freely; greedy edge colouring packs
+  them into parallel time slices, reducing depth from O(|E|) to O(Δ+1).
+* :func:`fuse_rotations` — merges adjacent same-axis rotations on the same
+  qubit(s) (γ-γ or β-β folds across layer boundaries, parameter sweeps).
+* :func:`cancel_identities` — removes zero-angle rotations and adjacent
+  self-inverse pairs (H H, X X, CX CX).
+* :func:`decompose_rzz` — lowers RZZ to CX·RZ·CX for the ``cx`` basis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit, Instruction, ParamRef
+
+_SELF_INVERSE = {"h", "x", "y", "z", "cx", "cz", "swap"}
+_ROTATIONS = {"rx", "ry", "rz", "rzz", "p", "crz", "rxx"}
+
+
+# ---------------------------------------------------------------------------
+# Edge-colouring scheduler for commuting two-qubit layers
+# ---------------------------------------------------------------------------
+def greedy_edge_coloring(
+    n_qubits: int, edges: Sequence[Tuple[int, int]]
+) -> List[List[int]]:
+    """Partition edge indices into colour classes of pairwise-disjoint edges.
+
+    Greedy: assign each edge (sorted by max endpoint degree first) the first
+    colour not already used at either endpoint.  Vizing guarantees Δ+1
+    colours exist; greedy may use up to 2Δ−1 but is near-optimal on the
+    sparse graphs used here.
+    """
+    degree = np.zeros(n_qubits, dtype=np.int64)
+    for a, b in edges:
+        degree[a] += 1
+        degree[b] += 1
+    order = sorted(
+        range(len(edges)), key=lambda k: -(degree[edges[k][0]] + degree[edges[k][1]])
+    )
+    colour_of_edge: Dict[int, int] = {}
+    used_at: List[set] = [set() for _ in range(n_qubits)]
+    n_colours = 0
+    for k in order:
+        a, b = edges[k]
+        c = 0
+        busy = used_at[a] | used_at[b]
+        while c in busy:
+            c += 1
+        colour_of_edge[k] = c
+        used_at[a].add(c)
+        used_at[b].add(c)
+        n_colours = max(n_colours, c + 1)
+    classes: List[List[int]] = [[] for _ in range(n_colours)]
+    for k, c in colour_of_edge.items():
+        classes[c].append(k)
+    return classes
+
+
+def schedule_commuting_layer(
+    n_qubits: int, instructions: Sequence[Instruction]
+) -> List[Instruction]:
+    """Reorder a block of mutually commuting two-qubit diagonal gates.
+
+    All gates must be two-qubit diagonals (RZZ/CZ); the output applies the
+    same unitary (commuting product) but groups qubit-disjoint gates so the
+    ASAP depth equals the number of colour classes.
+    """
+    for ins in instructions:
+        if ins.name not in ("rzz", "cz"):
+            raise ValueError(f"cannot reschedule non-commuting gate {ins.name!r}")
+    edges = [ins.qubits for ins in instructions]
+    classes = greedy_edge_coloring(n_qubits, edges)
+    out: List[Instruction] = []
+    for cls in classes:
+        for k in sorted(cls):
+            out.append(instructions[k])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Peephole passes
+# ---------------------------------------------------------------------------
+def _angles_mergeable(a: Instruction, b: Instruction) -> bool:
+    """Two same-name rotations merge if both angles are concrete or both are
+    refs to the same parameter (coefficients add)."""
+    pa, pb = a.params[0], b.params[0]
+    if isinstance(pa, ParamRef) != isinstance(pb, ParamRef):
+        return False
+    if isinstance(pa, ParamRef):
+        return pa.index == pb.index
+    return True
+
+
+def _merge_angle(a: Instruction, b: Instruction) -> Instruction:
+    pa, pb = a.params[0], b.params[0]
+    if isinstance(pa, ParamRef):
+        return Instruction(a.name, a.qubits, (ParamRef(pa.index, pa.coeff + pb.coeff),))
+    return Instruction(a.name, a.qubits, (float(pa) + float(pb),))
+
+
+def fuse_rotations(circuit: Circuit) -> Circuit:
+    """Merge adjacent same-axis rotations acting on identical qubits.
+
+    "Adjacent" means no intervening instruction touches any of the qubits.
+    One linear scan with a per-qubit last-instruction index.
+    """
+    out: List[Instruction] = []
+    last_on_qubit: Dict[int, int] = {}  # qubit -> index into `out`
+    for ins in circuit.instructions:
+        merged = False
+        if ins.name in _ROTATIONS and len(ins.params) == 1:
+            positions = {last_on_qubit.get(q, -1) for q in ins.qubits}
+            if len(positions) == 1:
+                pos = positions.pop()
+                if pos >= 0 and out[pos] is not None:
+                    prev = out[pos]
+                    if (
+                        prev.name == ins.name
+                        and prev.qubits == ins.qubits
+                        and _angles_mergeable(prev, ins)
+                    ):
+                        out[pos] = _merge_angle(prev, ins)
+                        merged = True
+        if not merged:
+            out.append(ins)
+            for q in ins.qubits:
+                last_on_qubit[q] = len(out) - 1
+    result = Circuit(
+        circuit.n_qubits, out, n_params=circuit.n_params, metadata=dict(circuit.metadata)
+    )
+    return result
+
+
+def cancel_identities(circuit: Circuit, *, atol: float = 1e-12) -> Circuit:
+    """Drop zero-angle rotations and adjacent self-inverse pairs.
+
+    Runs to a fixed point (each sweep may expose new adjacencies).
+    """
+    instructions = list(circuit.instructions)
+    changed = True
+    while changed:
+        changed = False
+        # 1. zero-angle rotations
+        kept: List[Instruction] = []
+        for ins in instructions:
+            if (
+                ins.name in _ROTATIONS
+                and len(ins.params) == 1
+                and not isinstance(ins.params[0], ParamRef)
+                and abs(float(ins.params[0])) <= atol
+            ):
+                changed = True
+                continue
+            kept.append(ins)
+        instructions = kept
+        # 2. adjacent self-inverse pairs (same gate, same qubits, nothing
+        #    touching those qubits in between)
+        out: List[Instruction] = []
+        last_on_qubit: Dict[int, int] = {}
+        for ins in instructions:
+            if ins.name in _SELF_INVERSE:
+                positions = {last_on_qubit.get(q, -1) for q in ins.qubits}
+                if len(positions) == 1:
+                    pos = positions.pop()
+                    if (
+                        pos >= 0
+                        and out[pos] is not None
+                        and out[pos].name == ins.name
+                        and out[pos].qubits == ins.qubits
+                    ):
+                        out[pos] = None
+                        changed = True
+                        # rebuild last_on_qubit lazily below
+                        for q in ins.qubits:
+                            last_on_qubit.pop(q, None)
+                        continue
+            out.append(ins)
+            for q in ins.qubits:
+                last_on_qubit[q] = len(out) - 1
+        instructions = [ins for ins in out if ins is not None]
+        if any(ins is None for ins in out):
+            # positions shifted; recompute indices next sweep
+            pass
+    return Circuit(
+        circuit.n_qubits,
+        instructions,
+        n_params=circuit.n_params,
+        metadata=dict(circuit.metadata),
+    )
+
+
+def decompose_rzz(circuit: Circuit) -> Circuit:
+    """Lower RZZ(θ) on (a, b) to CX(a,b) · RZ(θ) on b · CX(a,b)."""
+    out = Circuit(
+        circuit.n_qubits, n_params=circuit.n_params, metadata=dict(circuit.metadata)
+    )
+    for ins in circuit.instructions:
+        if ins.name == "rzz":
+            a, b = ins.qubits
+            out.append("cx", (a, b))
+            out.append("rz", (b,), (ins.params[0],))
+            out.append("cx", (a, b))
+        else:
+            out.instructions.append(ins)
+    return out
+
+
+def circuit_metrics(circuit: Circuit) -> Dict[str, int]:
+    """Summary used in synthesis reports and the A2 ablation."""
+    return {
+        "size": circuit.size(),
+        "depth": circuit.depth(),
+        "two_qubit": circuit.two_qubit_count(),
+        "n_qubits": circuit.n_qubits,
+    }
+
+
+__all__ = [
+    "greedy_edge_coloring",
+    "schedule_commuting_layer",
+    "fuse_rotations",
+    "cancel_identities",
+    "decompose_rzz",
+    "circuit_metrics",
+]

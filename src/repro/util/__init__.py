@@ -1,0 +1,14 @@
+"""Shared utilities: RNG handling, timing, validation, lightweight logging."""
+
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.util.timing import Timer, timed
+from repro.util.validation import check_probability, check_positive_int
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "check_probability",
+    "check_positive_int",
+]

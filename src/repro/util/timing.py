@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers used by the experiment drivers and HPC traces."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("partition"):
+    ...     pass
+    >>> "partition" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def report(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<28s} {self.totals[name]:10.4f}s  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[dict]:
+    """Context manager yielding a dict whose ``elapsed`` key is set on exit."""
+    box = {"elapsed": 0.0}
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box["elapsed"] = time.perf_counter() - start
+
+
+__all__ = ["Timer", "timed"]

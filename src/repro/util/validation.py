@@ -1,0 +1,32 @@
+"""Small argument-validation helpers shared across subpackages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive_int(value: Any, name: str = "value") -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    ivalue = int(value)
+    if ivalue != value or ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue
+
+
+def check_nonnegative_int(value: Any, name: str = "value") -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    ivalue = int(value)
+    if ivalue != value or ivalue < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return ivalue
+
+
+__all__ = ["check_probability", "check_positive_int", "check_nonnegative_int"]

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: MaxCut = 2 (unweighted)."""
+    return Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path 0-1-2-3: MaxCut = 3 (alternating)."""
+    return Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+
+
+@pytest.fixture
+def weighted_square() -> Graph:
+    """4-cycle with distinct weights; MaxCut = 1+2+3+4 = 10 (bipartite)."""
+    return Graph.from_edges(
+        4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (0, 3, 4.0)]
+    )
+
+
+@pytest.fixture
+def er_small() -> Graph:
+    """Fixed small Erdős–Rényi instance (10 nodes)."""
+    return erdos_renyi(10, 0.4, rng=7)
+
+
+@pytest.fixture
+def er_medium() -> Graph:
+    """Fixed medium instance for partition / QAOA² tests (40 nodes)."""
+    return erdos_renyi(40, 0.12, rng=11)

@@ -1,0 +1,136 @@
+"""Unit tests for checkpoint/restart of sub-graph batches."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi, partition_with_cap
+from repro.hpc.checkpoint import (
+    CheckpointStore,
+    checkpointed_qaoa2_level,
+    run_with_checkpoints,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "journal.jsonl")
+
+
+class TestStore:
+    def test_empty_store(self, store):
+        assert store.load() == {}
+
+    def test_append_and_load(self, store):
+        store.append("a", {"assignment": [0, 1], "cut": 2.0})
+        store.append("b", {"assignment": [1, 1], "cut": 0.0})
+        loaded = store.load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"]["cut"] == 2.0
+
+    def test_later_duplicate_wins(self, store):
+        store.append("a", {"assignment": [0], "cut": 1.0})
+        store.append("a", {"assignment": [1], "cut": 5.0})
+        assert store.load()["a"]["cut"] == 5.0
+
+    def test_truncated_record_skipped(self, store):
+        store.append("good", {"assignment": [0], "cut": 1.0})
+        with store.path.open("a") as fh:
+            fh.write('{"key": "bad", "val')  # simulated crash mid-write
+        loaded = store.load()
+        assert set(loaded) == {"good"}
+
+    def test_clear(self, store):
+        store.append("a", {"assignment": [0], "cut": 1.0})
+        store.clear()
+        assert store.load() == {}
+        store.clear()  # idempotent
+
+
+class TestRunWithCheckpoints:
+    def test_all_computed_first_run(self, store):
+        calls = []
+
+        def solve(job):
+            calls.append(job)
+            return {"assignment": np.array([job], dtype=np.uint8), "cut": float(job)}
+
+        results = run_with_checkpoints([1, 0, 1], ["k1", "k2", "k3"], solve, store)
+        assert len(calls) == 3
+        assert [r["cut"] for r in results] == [1.0, 0.0, 1.0]
+
+    def test_restart_skips_done_work(self, store):
+        def solve(job):
+            return {"assignment": np.array([0], dtype=np.uint8), "cut": float(job)}
+
+        run_with_checkpoints([10, 20], ["a", "b"], solve, store)
+
+        calls = []
+
+        def solve2(job):
+            calls.append(job)
+            return {"assignment": np.array([0], dtype=np.uint8), "cut": float(job)}
+
+        results = run_with_checkpoints([10, 20, 30], ["a", "b", "c"], solve2, store)
+        assert calls == [30]  # only the new job ran
+        assert [r["cut"] for r in results] == [10.0, 20.0, 30.0]
+
+    def test_assignments_roundtrip_as_arrays(self, store):
+        def solve(job):
+            return {"assignment": np.array([1, 0, 1], dtype=np.uint8), "cut": 2.0}
+
+        run_with_checkpoints([0], ["k"], solve, store)
+        results = run_with_checkpoints([0], ["k"], lambda j: None, store)
+        assert isinstance(results[0]["assignment"], np.ndarray)
+        assert results[0]["assignment"].tolist() == [1, 0, 1]
+
+    def test_key_job_mismatch(self, store):
+        with pytest.raises(ValueError, match="align"):
+            run_with_checkpoints([1, 2], ["only-one"], lambda j: {}, store)
+
+
+class TestQAOA2LevelCheckpointing:
+    def test_resume_identical_results(self, store):
+        graph = erdos_renyi(30, 0.15, rng=8)
+        partition = partition_with_cap(graph, 8, rng=0)
+        subgraphs = [graph.subgraph(part)[0] for part in partition.parts]
+
+        def payload_for(part_id):
+            return {
+                "graph": subgraphs[part_id],
+                "method": "gw",
+                "seed": 1000 + part_id,
+                "qaoa_options": {},
+                "qaoa_grid": None,
+                "gw_options": {"n_slices": 5},
+            }
+
+        first = checkpointed_qaoa2_level(graph, partition.parts, payload_for, store)
+        second = checkpointed_qaoa2_level(graph, partition.parts, payload_for, store)
+        assert len(first) == len(partition.parts)
+        for a, b in zip(first, second):
+            assert a["cut"] == b["cut"]
+            assert np.array_equal(a["assignment"], b["assignment"])
+
+    def test_changed_seed_recomputes(self, store):
+        graph = erdos_renyi(20, 0.2, rng=9)
+        partition = partition_with_cap(graph, 6, rng=0)
+        subgraphs = [graph.subgraph(part)[0] for part in partition.parts]
+
+        def payload(seed_base):
+            def payload_for(part_id):
+                return {
+                    "graph": subgraphs[part_id],
+                    "method": "gw",
+                    "seed": seed_base + part_id,
+                    "qaoa_options": {},
+                    "qaoa_grid": None,
+                    "gw_options": {"n_slices": 5},
+                }
+
+            return payload_for
+
+        checkpointed_qaoa2_level(graph, partition.parts, payload(0), store)
+        n_before = len(store.load())
+        checkpointed_qaoa2_level(graph, partition.parts, payload(5000), store)
+        n_after = len(store.load())
+        assert n_after == 2 * n_before  # distinct keys -> fresh computation

@@ -1,0 +1,124 @@
+"""Unit tests for repro.quantum.circuit."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit, Instruction, ParamRef
+
+
+class TestBuilder:
+    def test_chainable_builders(self):
+        qc = Circuit(3).h(0).cx(0, 1).rzz(0.5, 1, 2).rx(0.1, 2)
+        assert qc.size() == 4
+        assert qc.gate_counts() == {"h": 1, "cx": 1, "rzz": 1, "rx": 1}
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Circuit(2).h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Circuit(2).cx(0, 0)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            Circuit(2).append("foo", (0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="acts on"):
+            Circuit(2).append("cx", (0,))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError, match="expects"):
+            Circuit(2).append("rx", (0,), ())
+
+    def test_negative_qubit_count_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(-1)
+
+
+class TestMetrics:
+    def test_depth_parallel_gates(self):
+        qc = Circuit(4).h(0).h(1).h(2).h(3)
+        assert qc.depth() == 1
+
+    def test_depth_serial_chain(self):
+        qc = Circuit(2).h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_depth_disjoint_two_qubit(self):
+        qc = Circuit(4).rzz(0.1, 0, 1).rzz(0.1, 2, 3)
+        assert qc.depth() == 1
+
+    def test_two_qubit_count(self):
+        qc = Circuit(3).h(0).cx(0, 1).rzz(0.3, 1, 2).x(2)
+        assert qc.two_qubit_count() == 2
+
+    def test_is_diagonal(self):
+        assert Circuit(2).rz(0.1, 0).rzz(0.2, 0, 1).cz(0, 1).is_diagonal()
+        assert not Circuit(2).h(0).is_diagonal()
+
+    def test_empty_circuit_depth_zero(self):
+        assert Circuit(3).depth() == 0
+
+
+class TestParameters:
+    def test_paramref_resolve(self):
+        ref = ParamRef(1, coeff=2.0)
+        assert ref.resolve([0.0, 0.5]) == 1.0
+
+    def test_paramref_scalar_multiply(self):
+        ref = 3.0 * ParamRef(0, 0.5)
+        assert ref.coeff == 1.5
+
+    def test_bind_produces_concrete_circuit(self):
+        qc = Circuit(2)
+        qc.rx(ParamRef(0, 2.0), 0)
+        qc.rzz(ParamRef(1, -1.0), 0, 1)
+        bound = qc.bind([0.3, 0.7])
+        assert not bound.is_parametric
+        assert bound.instructions[0].params[0] == pytest.approx(0.6)
+        assert bound.instructions[1].params[0] == pytest.approx(-0.7)
+
+    def test_bind_too_few_values(self):
+        qc = Circuit(1)
+        qc.rx(ParamRef(3), 0)
+        with pytest.raises(ValueError, match="parameter values"):
+            qc.bind([0.1])
+
+    def test_n_params_tracks_max_index(self):
+        qc = Circuit(1)
+        qc.rx(ParamRef(4), 0)
+        assert qc.n_params == 5
+
+    def test_mixed_concrete_and_symbolic(self):
+        qc = Circuit(1)
+        qc.rx(0.5, 0)
+        qc.rx(ParamRef(0), 0)
+        assert qc.is_parametric
+        bound = qc.bind([1.0])
+        assert [ins.params[0] for ins in bound.instructions] == [0.5, 1.0]
+
+
+class TestComposition:
+    def test_compose_concatenates(self):
+        a = Circuit(2).h(0)
+        b = Circuit(2).cx(0, 1)
+        c = a.compose(b)
+        assert c.size() == 2
+        assert a.size() == 1  # original untouched
+
+    def test_compose_qubit_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Circuit(2).compose(Circuit(3))
+
+    def test_copy_independent(self):
+        a = Circuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert a.size() == 1
+        assert b.size() == 2
+
+    def test_len_matches_size(self):
+        qc = Circuit(2).h(0).h(1)
+        assert len(qc) == qc.size() == 2

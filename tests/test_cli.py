@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_qaoa2_default(self, capsys):
+        assert main(["solve", "--nodes", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "QAOA² cut" in out
+
+    def test_qaoa_method(self, capsys):
+        assert main(["solve", "--method", "qaoa", "--nodes", "10",
+                     "--layers", "2"]) == 0
+        assert "QAOA cut" in capsys.readouterr().out
+
+    def test_gw_method(self, capsys):
+        assert main(["solve", "--method", "gw", "--nodes", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "GW best" in out and "SDP bound" in out
+
+    def test_exact_method(self, capsys):
+        assert main(["solve", "--method", "exact", "--nodes", "10"]) == 0
+        assert "exact cut" in capsys.readouterr().out
+
+    def test_anneal_method(self, capsys):
+        assert main(["solve", "--method", "anneal", "--nodes", "10"]) == 0
+        assert "annealer" in capsys.readouterr().out
+
+    def test_graph_file_input(self, capsys, tmp_path):
+        from repro.graphs import erdos_renyi, write_edgelist
+
+        path = tmp_path / "g.txt"
+        write_edgelist(erdos_renyi(10, 0.4, rng=0), path)
+        assert main(["solve", "--method", "exact", "--graph-file", str(path)]) == 0
+        assert "exact cut" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_gridsearch_and_kb(self, capsys, tmp_path):
+        kb_path = tmp_path / "kb.json"
+        code = main([
+            "gridsearch", "--node-counts", "8", "--edge-probs", "0.3",
+            "--layers-grid", "2", "--rhobeg-grid", "0.4",
+            "--backend", "serial", "--save-kb", str(kb_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "most successful grid point" in out
+        assert kb_path.exists()
+        from repro.ml import KnowledgeBase
+
+        assert len(KnowledgeBase.load(kb_path)) == 2  # 2 weightings x 1 point
+
+    def test_scaling(self, capsys):
+        code = main([
+            "scaling", "--node-counts", "30", "--qubits", "8",
+            "--layers", "2", "--maxiter", "15", "--backend", "serial",
+        ])
+        assert code == 0
+        assert "relative to QAOA" in capsys.readouterr().out
+
+    def test_hetjobs(self, capsys):
+        assert main(["hetjobs", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "monolithic" in out and "heterogeneous" in out
+
+    def test_coordinator(self, capsys):
+        code = main([
+            "coordinator", "--workers", "1", "2", "--nodes", "30",
+            "--qubits", "8", "--layers", "2", "--maxiter", "15",
+        ])
+        assert code == 0
+        assert "coordinator/worker scaling" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_invalid_method_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--method", "magic"])

@@ -1,0 +1,103 @@
+"""Cross-module property tests: the inequality chain every solver must obey.
+
+For any instance:  random cut ≤ heuristic cut ≤ exact ≤ SDP bound, and the
+three problem formulations (cut, Ising H_C, QUBO) agree pointwise.  These
+are the invariants that tie the whole stack together.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import (
+    QUBO,
+    SimulatedAnnealerSampler,
+    goemans_williamson,
+    simulated_annealing,
+    solve_sdp_mixing,
+)
+from repro.graphs import (
+    cut_value,
+    erdos_renyi,
+    exact_maxcut_bruteforce,
+    one_exchange,
+    random_cut,
+)
+from repro.qaoa import QAOASolver, rqaoa_solve
+from repro.quantum import IsingHamiltonian
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([0.2, 0.4, 0.6]))
+def test_solver_inequality_chain(seed, p_edge):
+    """heuristics ≤ exact ≤ SDP, for every solver in the repo."""
+    graph = erdos_renyi(10, p_edge, rng=seed)
+    exact = exact_maxcut_bruteforce(graph).cut
+    sdp = solve_sdp_mixing(graph, rng=seed).objective
+    heuristic_cuts = [
+        random_cut(graph, rng=seed).cut,
+        one_exchange(graph, rng=seed).cut,
+        simulated_annealing(graph, rng=seed, n_steps=2000).cut,
+        goemans_williamson(graph, rng=seed, n_slices=10).best_cut,
+        QAOASolver(layers=2, maxiter=15, rng=seed).solve(graph).cut,
+        rqaoa_solve(graph, n_cutoff=5, layers=1, rng=seed).cut,
+        SimulatedAnnealerSampler(n_sweeps=1000).sample_maxcut(
+            graph, num_reads=3, rng=seed
+        ).cut,
+    ]
+    for cut in heuristic_cuts:
+        assert cut <= exact + 1e-9
+    assert exact <= sdp * (1 + 1e-4) + 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_three_formulations_agree(seed):
+    """cut(x) == H_C diagonal == −QUBO energy, for random assignments."""
+    graph = erdos_renyi(8, 0.5, rng=seed)
+    ham = IsingHamiltonian.from_maxcut(graph)
+    qubo = QUBO.from_maxcut(graph)
+    rng = np.random.default_rng(seed)
+    for _ in range(5):
+        x = rng.integers(0, 2, 8).astype(np.uint8)
+        cut = cut_value(graph, x)
+        assert ham.value(x) == pytest.approx(cut)
+        assert qubo.energy(x) == pytest.approx(-cut)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000))
+def test_qaoa_energy_bounded_by_sdp(seed):
+    """F_p ≤ max cut ≤ SDP bound: the variational energy can never exceed
+    the relaxation value (ties the quantum and classical stacks)."""
+    graph = erdos_renyi(9, 0.4, rng=seed)
+    result = QAOASolver(layers=2, maxiter=20, rng=seed).solve(graph)
+    sdp = solve_sdp_mixing(graph, rng=seed).objective
+    assert result.energy <= sdp * (1 + 1e-4) + 1e-6
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000))
+def test_qaoa2_matches_flat_solve_on_small_graphs(seed):
+    """When the graph fits the qubit budget, QAOA² degenerates to one leaf
+    solve — its result must obey the same exact bound."""
+    from repro.qaoa2 import QAOA2Solver
+
+    graph = erdos_renyi(9, 0.4, rng=seed)
+    exact = exact_maxcut_bruteforce(graph).cut
+    result = QAOA2Solver(
+        n_max_qubits=12, subgraph_method="gw", rng=seed
+    ).solve(graph)
+    assert result.n_subproblems == 1
+    assert result.cut <= exact + 1e-9
+    assert result.cut >= 0.8 * exact - 1e-9  # GW best-slice is strong here
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(0, 10_000))
+def test_gw_average_below_best_below_sdp(seed):
+    graph = erdos_renyi(12, 0.4, rng=seed)
+    gw = goemans_williamson(graph, rng=seed, n_slices=15)
+    assert gw.average_cut <= gw.best_cut + 1e-12
+    assert gw.best_cut <= gw.sdp_objective * (1 + 1e-4) + 1e-6

@@ -1,0 +1,81 @@
+"""Unit tests for the named benchmark instance families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import load_instance, standard_suite
+
+
+class TestLoadInstance:
+    def test_deterministic(self):
+        assert load_instance("g05_20_0") == load_instance("g05_20_0")
+
+    def test_seed_changes_instance(self):
+        assert load_instance("g05_20_0") != load_instance("g05_20_1")
+
+    def test_g05_density(self):
+        g = load_instance("g05_40_0")
+        assert g.n_nodes == 40
+        assert 0.4 < g.density < 0.6
+        assert not g.is_weighted
+
+    def test_pm1_families_signed(self):
+        dense = load_instance("pm1d_20_0")
+        sparse = load_instance("pm1s_30_0")
+        for g in (dense, sparse):
+            assert set(np.unique(g.w)).issubset({-1.0, 1.0})
+        assert dense.density > sparse.density
+
+    def test_wd_integer_weights(self):
+        g = load_instance("wd_20_0")
+        assert np.all(g.w == np.round(g.w))
+        assert np.all(np.abs(g.w) >= 1) and np.all(np.abs(g.w) <= 10)
+
+    def test_torus_structure(self):
+        g = load_instance("torus_5_0")
+        assert g.n_nodes == 25
+        assert g.n_edges == 2 * 25  # k^2 * 2 wraparound edges
+        assert np.all(g.degrees() == 4)
+
+    def test_er_with_probability(self):
+        g = load_instance("er_50_0.2_3")
+        assert g.n_nodes == 50
+        assert 0.1 < g.density < 0.3
+
+    def test_er_requires_probability(self):
+        with pytest.raises(ValueError, match="unknown instance|probability"):
+            load_instance("er_50_3")
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown instance"):
+            load_instance("foo_10_0")
+
+
+class TestStandardSuite:
+    def test_small_tier_solvable_exactly(self):
+        from repro.graphs import exact_maxcut_bruteforce
+
+        suite = standard_suite(tier="small")
+        assert len(suite) >= 5
+        for name, graph in suite.items():
+            assert graph.n_nodes <= 20, name
+            result = exact_maxcut_bruteforce(graph)
+            assert np.isfinite(result.cut)
+
+    def test_medium_tier_sizes(self):
+        suite = standard_suite(tier="medium")
+        assert all(20 < g.n_nodes <= 150 for g in suite.values())
+
+    def test_unknown_tier(self):
+        with pytest.raises(ValueError, match="tier"):
+            standard_suite(tier="huge")
+
+    def test_suite_runs_through_qaoa2(self):
+        from repro.qaoa2 import QAOA2Solver
+
+        graph = standard_suite(tier="medium")["pm1s_80_0"]
+        result = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=0).solve(
+            graph
+        )
+        # Signed weights: valid solution, cut bounded by positive weight sum.
+        assert result.cut <= graph.w[graph.w > 0].sum() + 1e-9

@@ -1,0 +1,124 @@
+"""Unit + property tests for repro.quantum.gates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import (
+    CX,
+    CZ,
+    GATE_SET,
+    H,
+    SWAP,
+    X,
+    Y,
+    Z,
+    crz,
+    gate_matrix,
+    is_unitary,
+    p,
+    rx,
+    ry,
+    rz,
+    rzz,
+    rxx,
+    u3,
+)
+
+angles = st.floats(-2 * np.pi, 2 * np.pi, allow_nan=False)
+
+
+class TestFixedGates:
+    def test_pauli_algebra(self):
+        assert np.allclose(X @ X, np.eye(2))
+        assert np.allclose(1j * X @ Y @ Z, -np.eye(2))
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(H @ H, np.eye(2))
+
+    def test_hadamard_maps_z_to_x(self):
+        assert np.allclose(H @ Z @ H, X)
+
+    def test_cx_truth_table(self):
+        # |c t>: control is MSB of the gate index.
+        for c in (0, 1):
+            for t in (0, 1):
+                col = 2 * c + t
+                expected = 2 * c + (t ^ c)
+                assert CX[expected, col] == 1.0
+
+    def test_swap_action(self):
+        vec = np.array([0, 1, 0, 0], dtype=complex)  # |01>
+        assert np.allclose(SWAP @ vec, [0, 0, 1, 0])  # -> |10>
+
+    def test_cz_diagonal(self):
+        assert np.allclose(np.diag(np.diag(CZ)), CZ)
+
+
+class TestParameterisedGates:
+    def test_rotation_zero_is_identity(self):
+        for fn, dim in ((rx, 2), (ry, 2), (rz, 2), (rzz, 4), (rxx, 4), (crz, 4)):
+            assert np.allclose(fn(0.0), np.eye(dim))
+
+    def test_rx_two_pi_is_minus_identity(self):
+        assert np.allclose(rx(2 * np.pi), -np.eye(2))
+
+    def test_rz_diagonal_phases(self):
+        theta = 0.7
+        m = rz(theta)
+        assert m[0, 0] == pytest.approx(np.exp(-0.5j * theta))
+        assert m[1, 1] == pytest.approx(np.exp(0.5j * theta))
+
+    def test_rzz_is_diagonal(self):
+        m = rzz(1.3)
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+    def test_rzz_parity_phases(self):
+        theta = 0.9
+        m = np.diag(rzz(theta))
+        # Even parity (|00>, |11>) gets e^{-iθ/2}; odd gets e^{+iθ/2}.
+        assert m[0] == pytest.approx(np.exp(-0.5j * theta))
+        assert m[3] == pytest.approx(np.exp(-0.5j * theta))
+        assert m[1] == pytest.approx(np.exp(0.5j * theta))
+
+    def test_u3_special_cases(self):
+        assert np.allclose(u3(0, 0, 0), np.eye(2))
+        # U3(pi/2, 0, pi) = H
+        assert np.allclose(u3(np.pi / 2, 0, np.pi), H, atol=1e-12)
+
+    def test_p_gate(self):
+        assert np.allclose(p(np.pi), Z)
+
+    @settings(max_examples=30, deadline=None)
+    @given(angles)
+    def test_rotations_unitary(self, theta):
+        for fn in (rx, ry, rz, rzz, rxx, crz, p):
+            assert is_unitary(fn(theta))
+
+    @settings(max_examples=20, deadline=None)
+    @given(angles, angles)
+    def test_rotation_composition(self, a, b):
+        # Same-axis rotations add angles.
+        assert np.allclose(rx(a) @ rx(b), rx(a + b), atol=1e-10)
+        assert np.allclose(rz(a) @ rz(b), rz(a + b), atol=1e-10)
+        assert np.allclose(rzz(a) @ rzz(b), rzz(a + b), atol=1e-10)
+
+
+class TestGateRegistry:
+    def test_all_registered_gates_unitary(self):
+        for name, (factory, n_qubits, n_params) in GATE_SET.items():
+            params = tuple(0.3 * (k + 1) for k in range(n_params))
+            m = gate_matrix(name, params)
+            assert m.shape == (2**n_qubits, 2**n_qubits)
+            assert is_unitary(m), name
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError, match="unknown gate"):
+            gate_matrix("nope")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(ValueError, match="parameter"):
+            gate_matrix("rx", ())
+        with pytest.raises(ValueError, match="parameter"):
+            gate_matrix("h", (0.3,))

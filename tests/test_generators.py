@@ -1,0 +1,112 @@
+"""Unit tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete,
+    complete_bipartite,
+    erdos_renyi,
+    erdos_renyi_pair,
+    grid_2d,
+    planted_partition,
+    random_regular,
+    ring,
+)
+
+
+class TestErdosRenyi:
+    def test_seeded_determinism(self):
+        a = erdos_renyi(20, 0.3, rng=5)
+        b = erdos_renyi(20, 0.3, rng=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(20, 0.3, rng=5)
+        b = erdos_renyi(20, 0.3, rng=6)
+        assert a != b
+
+    def test_p_one_gives_complete(self):
+        g = erdos_renyi(8, 1.0, rng=0)
+        assert g.n_edges == 8 * 7 // 2
+
+    def test_p_zero_with_ensure_edge(self):
+        g = erdos_renyi(8, 0.0, rng=0, ensure_edge=True)
+        assert g.n_edges == 1
+
+    def test_p_zero_exact_semantics(self):
+        g = erdos_renyi(8, 0.0, rng=0, ensure_edge=False)
+        assert g.n_edges == 0
+
+    def test_weighted_weights_in_unit_interval(self):
+        g = erdos_renyi(20, 0.5, weighted=True, rng=1)
+        assert np.all(g.w >= 0.0) and np.all(g.w <= 1.0)
+        assert g.is_weighted
+
+    def test_unweighted_weights_are_one(self):
+        g = erdos_renyi(20, 0.5, rng=1)
+        assert np.allclose(g.w, 1.0)
+
+    def test_edge_count_near_expectation(self):
+        n, p = 60, 0.3
+        g = erdos_renyi(n, p, rng=2)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.n_edges - expected) < 4 * np.sqrt(expected)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5)
+
+    def test_pair_same_topology_class(self):
+        unweighted, weighted = erdos_renyi_pair(15, 0.3, rng=3)
+        assert not unweighted.is_weighted
+        assert weighted.is_weighted
+        assert unweighted.n_nodes == weighted.n_nodes == 15
+
+
+class TestStructuredGenerators:
+    def test_ring_edge_count(self):
+        assert ring(7).n_edges == 7
+
+    def test_ring_requires_three_nodes(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+    def test_complete_edge_count(self):
+        assert complete(6).n_edges == 15
+
+    def test_complete_bipartite_structure(self):
+        g = complete_bipartite(3, 4)
+        assert g.n_nodes == 7
+        assert g.n_edges == 12
+        # Bipartite: no edge within {0,1,2} or within {3..6}
+        for a, b in zip(g.u, g.v):
+            assert (a < 3) != (b < 3)
+
+    def test_random_regular_degrees(self):
+        g = random_regular(12, 3, rng=4)
+        assert np.all(g.degrees() == 3)
+
+    def test_random_regular_invalid_parity(self):
+        with pytest.raises(ValueError):
+            random_regular(5, 3)
+
+    def test_planted_partition_blocks_denser(self):
+        g = planted_partition(40, 4, 0.8, 0.05, rng=5)
+        block = np.arange(40) % 4
+        same = block[g.u] == block[g.v]
+        # intra-block edges should dominate given 0.8 vs 0.05
+        assert same.sum() > (~same).sum()
+
+    def test_grid_2d_bipartite(self):
+        g = grid_2d(3, 4)
+        assert g.n_nodes == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_weighted_variants(self):
+        assert ring(5, weighted=True, rng=0).is_weighted
+        assert complete(5, weighted=True, rng=0).is_weighted

@@ -1,0 +1,77 @@
+"""Unit tests for graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    read_edgelist,
+    read_json,
+    write_edgelist,
+    write_json,
+)
+
+
+class TestEdgelist:
+    def test_roundtrip_unweighted(self, tmp_path, er_small):
+        path = tmp_path / "g.txt"
+        write_edgelist(er_small, path)
+        back = read_edgelist(path)
+        assert back == er_small
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = erdos_renyi(12, 0.4, weighted=True, rng=3)
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        back = read_edgelist(path)
+        assert back.n_edges == g.n_edges
+        assert np.allclose(back.w, g.w)
+
+    def test_header_optional(self, tmp_path, er_small):
+        path = tmp_path / "g.txt"
+        write_edgelist(er_small, path, header=False)
+        back = read_edgelist(path, n_nodes=er_small.n_nodes)
+        assert back == er_small
+
+    def test_isolated_trailing_nodes_need_explicit_count(self, tmp_path):
+        g = Graph.from_edges(5, [(0, 1, 1.0)])  # nodes 2-4 isolated
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)  # header carries n=5
+        assert read_edgelist(path).n_nodes == 5
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n3 2\n1 2 1.0\n% other comment\n2 3 2.0\n")
+        g = read_edgelist(path)
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_two_column_edges_default_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("1 2\n2 3\n")
+        g = read_edgelist(path)
+        assert np.allclose(g.w, 1.0)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("4 1\n7\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_edgelist(path)
+
+
+class TestJson:
+    def test_roundtrip_with_metadata(self, tmp_path):
+        g = erdos_renyi(10, 0.3, weighted=True, rng=1)
+        path = tmp_path / "g.json"
+        write_json(g, path, metadata={"family": "er", "p": 0.3})
+        back, meta = read_json(path)
+        assert back == g
+        assert meta["family"] == "er"
+
+    def test_empty_metadata(self, tmp_path, er_small):
+        path = tmp_path / "g.json"
+        write_json(er_small, path)
+        back, meta = read_json(path)
+        assert back == er_small
+        assert meta == {}

@@ -1,0 +1,103 @@
+"""Unit tests for the Goemans-Williamson pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.classical import (
+    DEFAULT_SLICES,
+    GW_APPROX_RATIO,
+    GWAbnormalTermination,
+    goemans_williamson,
+    hyperplane_rounding,
+    solve_maxcut_gw,
+)
+from repro.classical.sdp import solve_sdp_mixing
+from repro.graphs import (
+    Graph,
+    complete_bipartite,
+    cut_value,
+    erdos_renyi,
+    exact_maxcut_bruteforce,
+)
+
+
+class TestPipeline:
+    def test_basic_invariants(self, er_small):
+        gw = goemans_williamson(er_small, rng=0)
+        assert gw.best_cut == pytest.approx(cut_value(er_small, gw.best_assignment))
+        assert gw.average_cut <= gw.best_cut + 1e-12
+        assert len(gw.slice_cuts) == DEFAULT_SLICES
+        assert gw.best_cut <= gw.sdp_objective + 1e-6
+
+    def test_value_for_comparison_is_average(self, er_small):
+        gw = goemans_williamson(er_small, rng=0)
+        assert gw.value_for_comparison == gw.average_cut
+        assert gw.average_cut == pytest.approx(np.mean(gw.slice_cuts))
+
+    def test_approximation_guarantee_statistical(self):
+        # With 30 slices the 0.878 bound is met with near certainty.
+        for seed in range(5):
+            g = erdos_renyi(12, 0.4, rng=seed)
+            exact = exact_maxcut_bruteforce(g).cut
+            gw = goemans_williamson(g, rng=seed)
+            assert gw.best_cut >= GW_APPROX_RATIO * exact - 1e-9
+
+    def test_bipartite_exact(self):
+        g = complete_bipartite(5, 5)
+        gw = goemans_williamson(g, rng=1)
+        assert gw.best_cut == pytest.approx(25.0)
+
+    def test_n_slices_configurable(self, er_small):
+        gw = goemans_williamson(er_small, n_slices=7, rng=0)
+        assert len(gw.slice_cuts) == 7
+
+    def test_admm_backend(self, er_small):
+        gw = goemans_williamson(er_small, sdp_method="admm", rng=0)
+        exact = exact_maxcut_bruteforce(er_small).cut
+        assert gw.best_cut >= GW_APPROX_RATIO * exact - 1e-9
+
+    def test_seeded_determinism(self, er_small):
+        a = goemans_williamson(er_small, rng=9)
+        b = goemans_williamson(er_small, rng=9)
+        assert a.best_cut == b.best_cut
+        assert a.slice_cuts == b.slice_cuts
+
+    def test_empty_graph(self):
+        gw = goemans_williamson(Graph.from_edges(0, []), rng=0)
+        assert gw.best_cut == 0.0
+
+    def test_cut_result_wrapper(self, er_small):
+        result = solve_maxcut_gw(er_small, rng=0)
+        assert result.method == "gw"
+        assert "average_cut" in result.extra
+
+
+class TestFailureInjection:
+    def test_fail_above_triggers(self):
+        g = erdos_renyi(25, 0.2, rng=0)
+        with pytest.raises(GWAbnormalTermination, match="2000|20"):
+            goemans_williamson(g, fail_above_nodes=20)
+
+    def test_fail_above_pass_through(self, er_small):
+        gw = goemans_williamson(er_small, fail_above_nodes=100, rng=0)
+        assert gw.best_cut > 0
+
+
+class TestRounding:
+    def test_rounding_labels_binary(self, er_small):
+        sdp = solve_sdp_mixing(er_small, rng=0)
+        labels = hyperplane_rounding(sdp.vectors, rng=0)
+        assert set(np.unique(labels)).issubset({0, 1})
+        assert len(labels) == er_small.n_nodes
+
+    def test_rounding_expectation_bound(self):
+        # Mean slice cut should be >= 0.878 * SDP (GW analysis) minus noise;
+        # check the weaker statistical bound 0.8 over 200 slices.
+        g = erdos_renyi(14, 0.4, rng=4)
+        sdp = solve_sdp_mixing(g, rng=4)
+        rng = np.random.default_rng(0)
+        cuts = [
+            cut_value(g, hyperplane_rounding(sdp.vectors, rng=rng))
+            for _ in range(200)
+        ]
+        assert np.mean(cuts) >= 0.8 * sdp.objective

@@ -1,0 +1,207 @@
+"""Unit tests for the in-process MPI communicator."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.comm import ANY_SOURCE, ANY_TAG, run_parallel
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_parallel(2, fn)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_tag_matching_out_of_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = run_parallel(2, fn)
+        assert results[1] == ("first", "second")
+
+    def test_any_source_any_tag(self):
+        def fn(comm):
+            if comm.rank == 0:
+                got = set()
+                for _ in range(comm.size - 1):
+                    status = {}
+                    value = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+                    got.add((status["source"], value))
+                return got
+            comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+            return None
+
+        results = run_parallel(4, fn)
+        assert results[0] == {(1, 10), (2, 20), (3, 30)}
+
+    def test_numpy_payload_roundtrip(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        results = run_parallel(2, fn)
+        assert np.array_equal(results[1], np.arange(100))
+
+    def test_pickle_semantics_enforced(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(Exception):  # unpicklable payload
+                    comm.send(lambda x: x, dest=1)
+            comm.barrier()
+            return True
+
+        assert all(run_parallel(2, fn))
+
+    def test_invalid_dest(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    comm.send(1, dest=5)
+            comm.barrier()
+            return True
+
+        assert all(run_parallel(2, fn))
+
+    def test_recv_timeout(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(TimeoutError):
+                    comm.recv(source=1, timeout=0.05)
+            comm.barrier()
+            return True
+
+        assert all(run_parallel(2, fn))
+
+    def test_fifo_per_source_pair(self):
+        def fn(comm):
+            if comm.rank == 0:
+                for k in range(20):
+                    comm.send(k, dest=1, tag=0)
+                return None
+            return [comm.recv(source=0, tag=0) for _ in range(20)]
+
+        results = run_parallel(2, fn)
+        assert results[1] == list(range(20))
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            return comm.bcast("payload" if comm.rank == 0 else None, root=0)
+
+        assert run_parallel(3, fn) == ["payload"] * 3
+
+    def test_bcast_nonzero_root(self):
+        def fn(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        assert run_parallel(3, fn) == [2, 2, 2]
+
+    def test_scatter_gather_roundtrip(self):
+        def fn(comm):
+            part = comm.scatter(
+                [i * i for i in range(comm.size)] if comm.rank == 0 else None, root=0
+            )
+            return comm.gather(part, root=0)
+
+        results = run_parallel(4, fn)
+        assert results[0] == [0, 1, 4, 9]
+        assert results[1] is None
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    comm.scatter([1], root=0)
+                comm.send("unblock", dest=1, tag=99)
+                return None
+            # Rank 1's scatter would block; use plain recv for the sync.
+            return comm.recv(source=0, tag=99)
+
+        results = run_parallel(2, fn)
+        assert results[1] == "unblock"
+
+    def test_allgather(self):
+        def fn(comm):
+            return comm.allgather(comm.rank + 100)
+
+        results = run_parallel(3, fn)
+        assert all(r == [100, 101, 102] for r in results)
+
+    def test_allreduce_sum_default(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank + 1)
+
+        assert run_parallel(4, fn) == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank + 1, op=max)
+
+        assert run_parallel(4, fn) == [4, 4, 4, 4]
+
+    def test_repeated_collectives_no_crosstalk(self):
+        def fn(comm):
+            out = []
+            for round_ in range(10):
+                out.append(comm.allreduce(comm.rank * round_))
+            return out
+
+        results = run_parallel(4, fn)
+        expected = [sum(r * k for r in range(4)) for k in range(10)]
+        assert all(r == expected for r in results)
+
+    def test_barrier_synchronises(self):
+        import time
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+            comm.barrier()
+            return time.perf_counter()
+
+        times = run_parallel(3, fn)
+        assert max(times) - min(times) < 0.05
+
+
+class TestRunParallel:
+    def test_exceptions_propagate(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_parallel(3, fn)
+
+    def test_extra_args_forwarded(self):
+        def fn(comm, offset):
+            return comm.rank + offset
+
+        assert run_parallel(2, fn, 10) == [10, 11]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            run_parallel(0, lambda comm: None)
+
+    def test_rank_size_accessors(self):
+        def fn(comm):
+            return (comm.Get_rank(), comm.Get_size(), comm.rank, comm.size)
+
+        results = run_parallel(3, fn)
+        for rank, (r1, s1, r2, s2) in enumerate(results):
+            assert r1 == r2 == rank
+            assert s1 == s2 == 3

@@ -1,0 +1,72 @@
+"""Unit tests for the Fig. 2 coordinator/worker scheme."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cut_value, erdos_renyi
+from repro.hpc.coordinator import run_coordinated_qaoa2
+from repro.qaoa2 import QAOA2Solver
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi(45, 0.12, rng=19)
+
+
+class TestCoordinator:
+    def test_solution_consistent(self, graph):
+        result = run_coordinated_qaoa2(graph, n_workers=2, method="gw", rng=0)
+        assert result.cut == pytest.approx(cut_value(graph, result.assignment))
+
+    def test_all_jobs_dispatched(self, graph):
+        result = run_coordinated_qaoa2(graph, n_workers=3, method="gw", rng=0)
+        assert sum(w.jobs for w in result.worker_stats) == result.n_jobs
+        assert result.n_jobs >= 2
+
+    def test_workers_share_load(self, graph):
+        result = run_coordinated_qaoa2(graph, n_workers=3, method="gw", rng=0)
+        busy = [w.jobs for w in result.worker_stats]
+        assert all(jobs >= 1 for jobs in busy)  # dynamic dispatch reaches all
+
+    def test_quality_matches_inprocess_solver(self, graph):
+        coordinated = run_coordinated_qaoa2(graph, n_workers=2, method="gw", rng=5)
+        inprocess = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=5).solve(
+            graph
+        )
+        # Same algorithm, different seeds reach workers: allow modest spread.
+        assert abs(coordinated.cut - inprocess.cut) / inprocess.cut < 0.15
+
+    def test_qaoa_method(self, graph):
+        result = run_coordinated_qaoa2(
+            graph,
+            n_workers=2,
+            method="qaoa",
+            qaoa_options={"layers": 2, "maxiter": 20},
+            rng=0,
+        )
+        assert result.cut > graph.total_weight / 2
+
+    def test_policy_method(self, graph):
+        result = run_coordinated_qaoa2(
+            graph,
+            n_workers=2,
+            method=lambda g: "gw",
+            rng=0,
+        )
+        assert result.cut > 0
+
+    def test_metrics_populated(self, graph):
+        result = run_coordinated_qaoa2(graph, n_workers=2, method="gw", rng=0)
+        assert result.wall_time > 0
+        assert result.coordinator_time > 0
+        assert 0 <= result.coordination_overhead <= 1
+        assert result.speedup > 0
+        assert result.efficiency > 0
+
+    def test_invalid_worker_count(self, graph):
+        with pytest.raises(ValueError, match="worker"):
+            run_coordinated_qaoa2(graph, n_workers=0)
+
+    def test_single_worker(self, graph):
+        result = run_coordinated_qaoa2(graph, n_workers=1, method="gw", rng=0)
+        assert result.worker_stats[0].jobs == result.n_jobs

@@ -1,0 +1,181 @@
+"""Unit tests for the SLURM-like discrete-event workload manager."""
+
+import pytest
+
+from repro.hpc.slurm import (
+    Cluster,
+    Job,
+    Phase,
+    SlurmSimulator,
+    hybrid_workflow_jobs,
+)
+
+
+def simple_job(name, rtype="cpu", count=1, duration=2.0, submit=0.0):
+    return Job(name, [Phase("work", {rtype: count}, duration)], submit)
+
+
+class TestValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("p", {"cpu": 1}, -1.0)
+
+    def test_zero_resource_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("p", {"cpu": 0}, 1.0)
+
+    def test_unknown_resource_type(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2}))
+        with pytest.raises(ValueError, match="unknown resource"):
+            sim.submit(simple_job("j", rtype="qpu"))
+
+    def test_oversized_request(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2}))
+        with pytest.raises(ValueError, match="capacity"):
+            sim.submit(simple_job("j", count=3))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            SlurmSimulator(Cluster({"cpu": 1}), mode="fair-share")
+
+    def test_invalid_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster({"cpu": 0})
+
+
+class TestScheduling:
+    def test_single_job_runs_immediately(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1}))
+        sim.submit(simple_job("a", duration=3.0))
+        result = sim.run()
+        assert result.makespan == pytest.approx(3.0)
+        assert result.records[0].start == 0.0
+
+    def test_capacity_respected(self):
+        # 3 jobs, 2 CPUs -> third job waits.
+        sim = SlurmSimulator(Cluster({"cpu": 2}))
+        for k in range(3):
+            sim.submit(simple_job(f"j{k}", duration=1.0))
+        result = sim.run()
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_no_oversubscription_invariant(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2, "qpu": 1}))
+        for job in hybrid_workflow_jobs(4):
+            sim.submit(job)
+        result = sim.run()
+        # At any phase boundary, concurrent usage of each type <= capacity.
+        events = sorted({r.start for r in result.records} | {r.end for r in result.records})
+        for t in events:
+            for rtype, cap in (("cpu", 2), ("qpu", 1)):
+                active = sum(
+                    rec.resources.get(rtype, 0)
+                    for rec in result.records
+                    if rec.start <= t < rec.end
+                )
+                assert active <= cap
+
+    def test_submit_time_respected(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2}))
+        sim.submit(simple_job("late", duration=1.0, submit=5.0))
+        result = sim.run()
+        assert result.records[0].start >= 5.0
+
+    def test_fifo_order_without_backfill(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1}), backfill=False)
+        sim.submit(simple_job("first", duration=2.0))
+        sim.submit(simple_job("second", duration=1.0))
+        result = sim.run()
+        by_job = {rec.job: rec.start for rec in result.records}
+        assert by_job["first"] < by_job["second"]
+
+    def test_backfill_fills_gap(self):
+        # head job needs 2 cpus (blocked), a small 1-cpu job can jump ahead
+        # if it finishes before the head's shadow time.
+        sim = SlurmSimulator(Cluster({"cpu": 2}), backfill=True)
+        sim.submit(simple_job("running", count=1, duration=4.0))
+        sim.submit(simple_job("head", count=2, duration=2.0))
+        sim.submit(simple_job("filler", count=1, duration=3.0))
+        result = sim.run()
+        starts = {rec.job: rec.start for rec in result.records}
+        assert starts["filler"] < starts["head"]  # backfilled
+        assert starts["head"] == pytest.approx(4.0)  # not delayed
+
+    def test_no_backfill_keeps_order(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2}), backfill=False)
+        sim.submit(simple_job("running", count=1, duration=4.0))
+        sim.submit(simple_job("head", count=2, duration=2.0))
+        sim.submit(simple_job("filler", count=1, duration=3.0))
+        result = sim.run()
+        starts = {rec.job: rec.start for rec in result.records}
+        assert starts["filler"] >= starts["head"]
+
+
+class TestHeterogeneousVsMonolithic:
+    def test_fig1_idle_time_reduction(self):
+        """The Fig. 1 claim: heterogeneous submission removes QPU hold-idle
+        time and shortens the makespan."""
+        results = {}
+        for mode in ("monolithic", "heterogeneous"):
+            sim = SlurmSimulator(Cluster({"cpu": 2, "qpu": 1}), mode=mode)
+            for job in hybrid_workflow_jobs(2, classical_pre=4, quantum=1, classical_post=2):
+                sim.submit(job)
+            results[mode] = sim.run()
+        mono, het = results["monolithic"], results["heterogeneous"]
+        assert het.idle_while_allocated("qpu") < mono.idle_while_allocated("qpu")
+        assert het.makespan < mono.makespan
+        assert het.utilization("qpu") > mono.utilization("qpu")
+
+    def test_monolithic_allocates_union(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1, "qpu": 1}), mode="monolithic")
+        sim.submit(
+            Job("j", [Phase("c", {"cpu": 1}, 3.0), Phase("q", {"qpu": 1}, 1.0)])
+        )
+        result = sim.run()
+        # QPU allocated for the whole 4.0 but used only 1.0.
+        assert result.traces["qpu"].allocated_time() == pytest.approx(4.0)
+        assert result.traces["qpu"].used_time() == pytest.approx(1.0)
+        assert result.idle_while_allocated("qpu") == pytest.approx(3.0)
+
+    def test_heterogeneous_allocates_per_phase(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1, "qpu": 1}), mode="heterogeneous")
+        sim.submit(
+            Job("j", [Phase("c", {"cpu": 1}, 3.0), Phase("q", {"qpu": 1}, 1.0)])
+        )
+        result = sim.run()
+        assert result.traces["qpu"].allocated_time() == pytest.approx(1.0)
+        assert result.idle_while_allocated("qpu") == pytest.approx(0.0)
+
+    def test_het_phases_sequential_within_job(self):
+        sim = SlurmSimulator(Cluster({"cpu": 2, "qpu": 1}), mode="heterogeneous")
+        sim.submit(
+            Job("j", [Phase("a", {"cpu": 1}, 2.0), Phase("b", {"cpu": 1}, 2.0)])
+        )
+        result = sim.run()
+        recs = {rec.phase: rec for rec in result.records}
+        assert recs["b"].start >= recs["a"].end
+
+    def test_turnaround_accounting(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1}), mode="heterogeneous")
+        sim.submit(simple_job("a", duration=2.0))
+        sim.submit(simple_job("b", duration=2.0))
+        result = sim.run()
+        turnaround = result.job_turnaround()
+        assert turnaround["a"] == pytest.approx(2.0)
+        assert turnaround["b"] == pytest.approx(4.0)
+
+    def test_gantt_renders(self):
+        sim = SlurmSimulator(Cluster({"cpu": 1, "qpu": 1}))
+        for job in hybrid_workflow_jobs(2):
+            sim.submit(job)
+        text = sim.run().gantt(width=40)
+        assert "cpu" in text and "qpu" in text and "#" in text
+
+    def test_mpmd_step_spans_types(self):
+        """An MPMD phase requesting cpu+qpu at once co-allocates both."""
+        sim = SlurmSimulator(Cluster({"cpu": 2, "qpu": 1}), mode="heterogeneous")
+        sim.submit(Job("mpmd", [Phase("step", {"cpu": 2, "qpu": 1}, 3.0)]))
+        result = sim.run()
+        assert result.traces["cpu"].allocated_time() == pytest.approx(6.0)  # 2 units
+        assert result.traces["qpu"].allocated_time() == pytest.approx(3.0)
+        assert result.makespan == pytest.approx(3.0)

@@ -1,0 +1,72 @@
+"""Unit tests for trace/interval accounting."""
+
+import pytest
+
+from repro.hpc.trace import (
+    Interval,
+    ResourceTrace,
+    busy_span,
+    merge_intervals,
+    render_gantt,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5
+
+
+class TestMerge:
+    def test_disjoint_kept(self):
+        merged = merge_intervals([Interval(0, 1), Interval(2, 3)])
+        assert len(merged) == 2
+
+    def test_overlapping_merged(self):
+        merged = merge_intervals([Interval(0, 2), Interval(1, 3)])
+        assert len(merged) == 1
+        assert merged[0].start == 0 and merged[0].end == 3
+
+    def test_touching_merged(self):
+        merged = merge_intervals([Interval(0, 1), Interval(1, 2)])
+        assert len(merged) == 1
+
+    def test_unsorted_input(self):
+        merged = merge_intervals([Interval(5, 6), Interval(0, 1), Interval(0.5, 5.5)])
+        assert busy_span(merged) == pytest.approx(6.0)
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+        assert busy_span([]) == 0.0
+
+
+class TestResourceTrace:
+    def test_idle_accounting(self):
+        trace = ResourceTrace("qpu")
+        trace.allocated.append(Interval(0, 10))
+        trace.used.append(Interval(2, 5))
+        assert trace.allocated_time() == 10
+        assert trace.used_time() == 3
+        assert trace.idle_while_allocated() == 7
+
+    def test_utilization(self):
+        trace = ResourceTrace("qpu", capacity=2)
+        trace.used.append(Interval(0, 5))
+        assert trace.utilization(makespan=10) == pytest.approx(0.25)
+
+    def test_utilization_zero_makespan(self):
+        assert ResourceTrace("x").utilization(0.0) == 0.0
+
+
+class TestGantt:
+    def test_busy_cells_rendered(self):
+        text = render_gantt({"cpu": [Interval(0, 5)], "qpu": [Interval(5, 10)]}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 5
+
+    def test_empty_rows(self):
+        assert "empty" in render_gantt({})
+
+    def test_zero_horizon_safe(self):
+        text = render_gantt({"cpu": []}, width=10)
+        assert "cpu" in text

@@ -1,0 +1,176 @@
+"""Unit tests for the ML method-selection testbed."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, complete, erdos_renyi, ring
+from repro.ml import (
+    FEATURE_NAMES,
+    GridRecord,
+    KnowledgeBase,
+    LogisticRegression,
+    MethodClassifier,
+    StandardScaler,
+    extract_features,
+    feature_dict,
+    train_test_split,
+)
+
+
+class TestFeatures:
+    def test_feature_vector_length(self, er_small):
+        assert len(extract_features(er_small)) == len(FEATURE_NAMES)
+
+    def test_feature_dict_keys(self, er_small):
+        d = feature_dict(er_small)
+        assert set(d) == set(FEATURE_NAMES)
+
+    def test_known_values(self):
+        g = complete(4)
+        d = feature_dict(g)
+        assert d["n_nodes"] == 4
+        assert d["n_edges"] == 6
+        assert d["density"] == pytest.approx(1.0)
+        assert d["clustering"] == pytest.approx(1.0)  # complete graph
+        assert d["weighted"] == 0.0
+
+    def test_ring_no_triangles(self):
+        d = feature_dict(ring(6))
+        assert d["clustering"] == 0.0
+
+    def test_weighted_flag(self):
+        g = erdos_renyi(10, 0.5, weighted=True, rng=0)
+        assert feature_dict(g)["weighted"] == 1.0
+
+    def test_empty_graph_safe(self):
+        g = Graph.from_edges(3, [])
+        features = extract_features(g)
+        assert np.all(np.isfinite(features))
+
+    def test_features_finite_on_random_instances(self):
+        for seed in range(5):
+            g = erdos_renyi(15, 0.3, weighted=seed % 2 == 0, rng=seed)
+            assert np.all(np.isfinite(extract_features(g)))
+
+
+class TestScalerAndLR:
+    def test_scaler_standardises(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        scaler = StandardScaler().fit(x)
+        z = scaler.transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_constant_column_safe(self):
+        x = np.ones((10, 2))
+        z = StandardScaler().fit(x).transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_lr_separable_data(self, rng):
+        x = np.vstack([rng.normal(-2, 0.5, (100, 2)), rng.normal(2, 0.5, (100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        model = LogisticRegression(n_epochs=800).fit(x, y, rng=0)
+        assert model.accuracy(x, y) > 0.97
+
+    def test_lr_loss_decreases(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(int)
+        model = LogisticRegression(n_epochs=300).fit(x, y, rng=0)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_lr_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.ones((1, 2)))
+
+    def test_train_test_split_shapes(self, rng):
+        x = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, 40)
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.25, rng=0)
+        assert len(xte) == 10 and len(xtr) == 30
+        assert len(ytr) == 30 and len(yte) == 10
+
+
+class TestMethodClassifier:
+    def test_learns_density_rule(self):
+        """Synthetic labels from the Fig. 3 finding (QAOA wins on sparse
+        graphs) must be learnable from graph features."""
+        rng = np.random.default_rng(0)
+        graphs, labels = [], []
+        for seed in range(120):
+            p = rng.uniform(0.1, 0.6)
+            g = erdos_renyi(12, p, rng=seed)
+            graphs.append(g)
+            labels.append(1 if g.density < 0.3 else 0)
+        clf = MethodClassifier().fit(graphs, labels, rng=1)
+        assert clf.accuracy(graphs, labels) > 0.9
+
+    def test_predict_method_strings(self, er_small):
+        clf = MethodClassifier().fit(
+            [er_small, complete(8), ring(8)], [1, 0, 1], rng=0
+        )
+        assert clf.predict_method(er_small) in ("qaoa", "gw")
+
+    def test_proba_in_unit_interval(self, er_small):
+        clf = MethodClassifier().fit([er_small, complete(8)], [1, 0], rng=0)
+        assert 0.0 <= clf.predict_proba(er_small) <= 1.0
+
+
+class TestKnowledgeBase:
+    def make_kb(self):
+        kb = KnowledgeBase()
+        # QAOA wins on sparse (p=0.1), loses on dense (p=0.5).
+        for k in range(10):
+            kb.add(GridRecord(15, 0.1, False, 3, 0.5, qaoa_cut=10.0 + k % 2, gw_cut=10.0))
+            kb.add(GridRecord(15, 0.5, False, 3, 0.5, qaoa_cut=8.0, gw_cut=10.0))
+            kb.add(GridRecord(15, 0.1, False, 6, 0.5, qaoa_cut=11.0, gw_cut=10.0,
+                              qaoa_params=[0.1, 0.2]))
+        return kb
+
+    def test_win_rate(self):
+        kb = self.make_kb()
+        assert kb.win_rate(15, 0.5, False) == 0.0
+        # (0.1, p=3) alternates win/tie (5 wins of 10) and (0.1, p=6) always
+        # wins (10 of 10) -> 15/20 = 0.75 over the matching cell.
+        assert kb.win_rate(15, 0.1, False) == pytest.approx(0.75)
+
+    def test_recommend_method(self):
+        kb = self.make_kb()
+        assert kb.recommend_method(15, 0.5, False) == "gw"
+        assert kb.recommend_method(15, 0.1, False, win_threshold=0.4) == "qaoa"
+
+    def test_no_data_returns_none(self):
+        kb = self.make_kb()
+        assert kb.win_rate(100, 0.9) is None
+        assert kb.recommend_method(100, 0.9) is None
+
+    def test_node_tolerance_window(self):
+        kb = self.make_kb()
+        assert kb.win_rate(17, 0.1, False) is not None  # within ±3
+        assert kb.win_rate(25, 0.1, False) is None
+
+    def test_best_parameters(self):
+        kb = self.make_kb()
+        best = kb.best_parameters(15, 0.1, False)
+        assert best == (6, 0.5)  # layers=6 has ratio 1.1
+
+    def test_warm_start_params(self):
+        kb = self.make_kb()
+        params = kb.warm_start_params(15, 0.1, False)
+        assert params.tolist() == [0.1, 0.2]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        kb = self.make_kb()
+        path = tmp_path / "kb.json"
+        kb.save(path)
+        loaded = KnowledgeBase.load(path)
+        assert len(loaded) == len(kb)
+        assert loaded.win_rate(15, 0.5, False) == 0.0
+
+    def test_grid_record_properties(self):
+        rec = GridRecord(10, 0.2, True, 3, 0.5, qaoa_cut=9.5, gw_cut=10.0)
+        assert not rec.qaoa_win
+        assert rec.ratio == pytest.approx(0.95)

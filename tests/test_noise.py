@@ -1,0 +1,143 @@
+"""Unit tests for NISQ noise channels and readout mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.qaoa import MaxCutEnergy
+from repro.quantum import (
+    DephasingChannel,
+    DepolarizingChannel,
+    NoiseModel,
+    ReadoutError,
+    mitigate_readout,
+    noisy_expectation,
+    noisy_qaoa_statevector,
+)
+from repro.quantum.statevector import basis_state, plus_state, sample_counts
+
+
+class TestChannels:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            DepolarizingChannel(1.5)
+        with pytest.raises(ValueError):
+            DephasingChannel(-0.1)
+
+    def test_zero_probability_identity(self):
+        state = plus_state(3)
+        out = DepolarizingChannel(0.0).apply(state.copy(), 0, rng=0)
+        assert np.allclose(out, state)
+
+    def test_unit_probability_applies_pauli(self):
+        state = basis_state(2, 0)
+        out = DepolarizingChannel(1.0).apply(state, 0, rng=1)
+        # Must be X|00>, Y|00> or Z|00> — all unit norm, and different from
+        # the input for X/Y (Z leaves |0> alone up to phase).
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_dephasing_preserves_probabilities(self):
+        state = plus_state(2)
+        out = DephasingChannel(1.0).apply(state.copy(), 1, rng=0)
+        assert np.allclose(np.abs(out) ** 2, np.abs(state) ** 2)
+
+    def test_norm_preserved_many_applications(self):
+        rng = np.random.default_rng(3)
+        state = plus_state(4)
+        channel = DepolarizingChannel(0.5)
+        for q in range(4):
+            state = channel.apply(state, q, rng=rng)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+
+class TestNoisyQAOA:
+    def test_trivial_noise_equals_exact(self, er_small):
+        energy = MaxCutEnergy(er_small)
+        params = np.array([0.3, 0.4])
+        noiseless = NoiseModel()
+        assert noisy_expectation(energy, params, noiseless, rng=0) == pytest.approx(
+            energy.expectation(params)
+        )
+
+    def test_noise_degrades_energy_on_average(self):
+        graph = erdos_renyi(8, 0.4, rng=2)
+        energy = MaxCutEnergy(graph)
+        # Optimize noise-free first so there is quality to lose.
+        from repro.qaoa import QAOASolver
+
+        result = QAOASolver(layers=2, rng=0, maxiter=40).solve(graph)
+        clean = energy.expectation(result.params)
+        noisy = noisy_expectation(
+            energy,
+            result.params,
+            NoiseModel(one_qubit=DepolarizingChannel(0.05),
+                       two_qubit=DepolarizingChannel(0.02)),
+            trajectories=40,
+            rng=1,
+        )
+        # Depolarizing noise pulls ⟨H_C⟩ toward W/2 (the maximally mixed value).
+        assert noisy < clean
+        assert noisy > 0.0
+
+    def test_trajectory_state_normalised(self, er_small):
+        energy = MaxCutEnergy(er_small)
+        state = noisy_qaoa_statevector(
+            energy,
+            np.array([0.3, 0.4]),
+            NoiseModel(one_qubit=DepolarizingChannel(0.3)),
+            rng=0,
+        )
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_is_trivial(self):
+        assert NoiseModel().is_trivial()
+        assert NoiseModel(one_qubit=DepolarizingChannel(0.0)).is_trivial()
+        assert not NoiseModel(one_qubit=DepolarizingChannel(0.1)).is_trivial()
+
+
+class TestReadout:
+    def test_invalid_flip_probability(self):
+        with pytest.raises(ValueError):
+            ReadoutError(0.6, 0.1)
+
+    def test_apply_to_counts_preserves_shots(self):
+        error = ReadoutError(0.1, 0.05)
+        counts = {0: 50, 7: 50}
+        noisy = error.apply_to_counts(counts, 3, rng=0)
+        assert sum(noisy.values()) == 100
+
+    def test_zero_error_identity(self):
+        error = ReadoutError(0.0, 0.0)
+        counts = {3: 10, 5: 20}
+        assert error.apply_to_counts(counts, 3, rng=0) == counts
+
+    def test_confusion_matrix_column_stochastic(self):
+        m = ReadoutError(0.1, 0.2).single_qubit_matrix()
+        assert np.allclose(m.sum(axis=0), 1.0)
+
+    def test_mitigation_recovers_distribution(self):
+        # Point-mass state corrupted by readout error; mitigation should
+        # concentrate most quasi-probability back on the true bitstring.
+        rng = np.random.default_rng(0)
+        error = ReadoutError(0.08, 0.08)
+        true_counts = {5: 4096}
+        noisy = error.apply_to_counts(true_counts, 3, rng=rng)
+        mitigated = mitigate_readout(noisy, 3, error)
+        assert max(mitigated, key=mitigated.get) == 5
+        assert mitigated[5] > 0.9
+
+    def test_mitigation_quasi_probability_sums_to_one(self):
+        error = ReadoutError(0.05, 0.1)
+        state = plus_state(3)
+        counts = sample_counts(state, 2000, rng=1)
+        noisy = error.apply_to_counts(counts, 3, rng=2)
+        mitigated = mitigate_readout(noisy, 3, error)
+        assert sum(mitigated.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_mitigation_empty_counts(self):
+        with pytest.raises(ValueError, match="empty"):
+            mitigate_readout({}, 2, ReadoutError(0.1, 0.1))
+
+    def test_mitigation_size_cap(self):
+        with pytest.raises(ValueError, match="16"):
+            mitigate_readout({0: 1}, 20, ReadoutError(0.1, 0.1))

@@ -1,0 +1,120 @@
+"""Unit tests for repro.optim (COBYLA wrapper, SPSA, Nelder-Mead)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    RecordingObjective,
+    minimize,
+    minimize_cobyla,
+    minimize_nelder_mead,
+    minimize_spsa,
+)
+
+
+def quadratic(x):
+    return float(np.sum((x - 1.5) ** 2))
+
+
+def rosenbrock(x):
+    return float((1 - x[0]) ** 2 + 100 * (x[1] - x[0] ** 2) ** 2)
+
+
+class TestRecordingObjective:
+    def test_tracks_best(self):
+        rec = RecordingObjective(lambda x: float(x[0] ** 2))
+        rec(np.array([3.0]))
+        rec(np.array([1.0]))
+        rec(np.array([2.0]))
+        assert rec.nfev == 3
+        assert rec.best_f == 1.0
+        assert rec.best_x[0] == 1.0
+        assert rec.history == [9.0, 1.0, 4.0]
+
+    def test_best_x_is_copy(self):
+        rec = RecordingObjective(lambda x: float(x[0]))
+        point = np.array([0.5])
+        rec(point)
+        point[0] = 99.0
+        assert rec.best_x[0] == 0.5
+
+
+class TestCobyla:
+    def test_converges_on_quadratic(self):
+        result = minimize_cobyla(quadratic, np.zeros(3), rhobeg=0.5, maxiter=200)
+        assert result.fun < 1e-3
+        assert np.allclose(result.x, 1.5, atol=0.1)
+
+    def test_respects_maxiter(self):
+        result = minimize_cobyla(quadratic, np.zeros(2), maxiter=10)
+        assert result.nfev <= 12  # COBYLA may slightly overshoot bookkeeping
+
+    def test_rhobeg_affects_trajectory(self):
+        small = minimize_cobyla(quadratic, np.zeros(2), rhobeg=0.01, maxiter=15)
+        large = minimize_cobyla(quadratic, np.zeros(2), rhobeg=1.0, maxiter=15)
+        assert small.history != large.history
+
+    def test_returns_best_seen_not_last(self):
+        result = minimize_cobyla(quadratic, np.zeros(2), maxiter=100)
+        assert result.fun == min(result.history)
+
+
+class TestSPSA:
+    def test_converges_on_quadratic(self):
+        result = minimize_spsa(quadratic, np.zeros(3), maxiter=600, rng=0, a=0.5)
+        assert result.fun < 0.1
+
+    def test_deterministic_with_seed(self):
+        a = minimize_spsa(quadratic, np.zeros(2), maxiter=50, rng=7)
+        b = minimize_spsa(quadratic, np.zeros(2), maxiter=50, rng=7)
+        assert np.allclose(a.x, b.x)
+        assert a.history == b.history
+
+    def test_evaluation_budget(self):
+        result = minimize_spsa(quadratic, np.zeros(2), maxiter=40, rng=0)
+        assert result.nfev <= 41  # 2 per iteration + final
+
+    def test_noisy_objective_progress(self):
+        rng_noise = np.random.default_rng(1)
+
+        def noisy(x):
+            return quadratic(x) + 0.05 * rng_noise.standard_normal()
+
+        result = minimize_spsa(noisy, np.zeros(2), maxiter=400, rng=2, a=0.5)
+        assert quadratic(result.x) < 1.0
+
+
+class TestNelderMead:
+    def test_converges_on_quadratic(self):
+        result = minimize_nelder_mead(quadratic, np.zeros(3), maxiter=400)
+        assert result.fun < 1e-4
+
+    def test_rosenbrock_progress(self):
+        result = minimize_nelder_mead(rosenbrock, np.array([-1.0, 1.0]), maxiter=800)
+        assert result.fun < rosenbrock(np.array([-1.0, 1.0]))
+        assert result.fun < 1.0
+
+    def test_evaluation_budget(self):
+        result = minimize_nelder_mead(quadratic, np.zeros(4), maxiter=60)
+        assert result.nfev <= 66  # simplex init may finish the last shrink
+
+    def test_initial_step_matters(self):
+        tiny = minimize_nelder_mead(quadratic, np.zeros(2), maxiter=20, initial_step=1e-4)
+        normal = minimize_nelder_mead(quadratic, np.zeros(2), maxiter=20, initial_step=0.5)
+        assert normal.fun <= tiny.fun + 1e-9
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("method", ["cobyla", "spsa", "nelder-mead"])
+    def test_all_methods_reduce_objective(self, method):
+        x0 = np.array([3.0, -2.0])
+        result = minimize(quadratic, x0, method=method, maxiter=300, rng=0)
+        assert result.fun < quadratic(x0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            minimize(quadratic, np.zeros(2), method="adam")
+
+    def test_alias_nm(self):
+        result = minimize(quadratic, np.zeros(2), method="nm", maxiter=100)
+        assert result.fun < 1.0

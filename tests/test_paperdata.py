@@ -1,0 +1,77 @@
+"""Consistency tests for the transcribed published results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paperdata as pd
+
+
+class TestShapes:
+    def test_fig3ab_shapes(self):
+        for table in (pd.FIG3A_UNWEIGHTED, pd.FIG3A_WEIGHTED,
+                      pd.FIG3B_UNWEIGHTED, pd.FIG3B_WEIGHTED):
+            assert table.shape == (len(pd.FIG3_NODE_COUNTS), len(pd.FIG3_EDGE_PROBS))
+
+    def test_fig3c_shapes(self):
+        for table in (pd.FIG3C_UNWEIGHTED, pd.FIG3C_WEIGHTED):
+            assert table.shape == (len(pd.FIG3C_RHOBEGS), len(pd.FIG3C_LAYERS))
+
+    def test_table1_complete(self):
+        keys = {
+            (n, w, p)
+            for n in (30, 31, 32, 33)
+            for w in (True, False)
+            for p in (0.1, 0.2)
+        }
+        assert set(pd.TABLE1_STRICT) == keys
+        assert set(pd.TABLE1_BAND95) == keys
+
+
+class TestValueRanges:
+    def test_all_proportions_in_unit_interval(self):
+        for table in (pd.FIG3A_UNWEIGHTED, pd.FIG3A_WEIGHTED,
+                      pd.FIG3B_UNWEIGHTED, pd.FIG3B_WEIGHTED,
+                      pd.FIG3C_UNWEIGHTED, pd.FIG3C_WEIGHTED):
+            assert np.all((table >= 0) & (table <= 1))
+        for d in (pd.TABLE1_STRICT, pd.TABLE1_BAND95):
+            assert all(0 <= v <= 1 for v in d.values())
+
+    def test_proportions_are_thirtieths(self):
+        """Fig. 3(a)/(b) proportions come from 30 grid points per cell, so
+        every value must be k/30 for integer k (two-significant-digit
+        rounding tolerance)."""
+        for table in (pd.FIG3A_UNWEIGHTED, pd.FIG3B_WEIGHTED):
+            k = table * 30
+            assert np.all(np.abs(k - np.round(k)) < 0.15)
+
+
+class TestPublishedClaims:
+    def test_best_gridpoint_is_rhobeg05_p6(self):
+        """§4: 'the most successful parameter combination is
+        (rhobeg = 0.5, p = 6)' — must hold in the transcription."""
+        assert pd.published_best_gridpoint(weighted=False) == pd.BEST_GRID_POINT
+        assert pd.published_best_gridpoint(weighted=True)[1] == 6
+
+    def test_low_density_advantage_positive(self):
+        """§4: 'QAOA has a partial advantage for graphs with small edge
+        connection probabilities'."""
+        assert pd.published_low_density_advantage(weighted=False) > 0.1
+        assert pd.published_low_density_advantage(weighted=True) > 0.1
+
+    def test_table1_wins_rarer_than_fig3(self):
+        """§4: at 30-33 nodes 'occurrences of QAOA being strictly better
+        than GW are less frequent'."""
+        fig3_mean = pd.FIG3A_UNWEIGHTED.mean()
+        table1_mean = np.mean(list(pd.TABLE1_STRICT.values()))
+        assert table1_mean < fig3_mean
+
+    def test_high_layers_or_rhobeg_better_in_fig3c(self):
+        """§4: 'a high rhobeg or a high number of layers seem more
+        successful' — row/column means must increase overall."""
+        c = pd.FIG3C_UNWEIGHTED
+        assert c[-1].mean() > c[0].mean()  # rhobeg 0.5 beats 0.1
+
+    def test_accessors(self):
+        assert pd.fig3a(True) is pd.FIG3A_WEIGHTED
+        assert pd.fig3b(False) is pd.FIG3B_UNWEIGHTED
+        assert pd.fig3c(True) is pd.FIG3C_WEIGHTED

@@ -1,0 +1,170 @@
+"""Unit + property tests for repro.graphs.partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    erdos_renyi,
+    greedy_modularity_communities,
+    modularity,
+    networkx_modularity_communities,
+    partition_with_cap,
+    planted_partition,
+    random_balanced_partition,
+    spectral_bisection,
+)
+
+
+def membership_of(communities, n):
+    m = np.full(n, -1, dtype=np.int64)
+    for cid, comm in enumerate(communities):
+        m[comm] = cid
+    return m
+
+
+class TestModularityScore:
+    def test_all_in_one_community(self, er_small):
+        m = np.zeros(er_small.n_nodes, dtype=int)
+        # Q = 1 - 1 = 0 for the trivial single community? Actually
+        # Q = Σ_in/(2m) - (Σ_tot/2m)^2 = 1 - 1 = 0.
+        assert modularity(er_small, m) == pytest.approx(0.0)
+
+    def test_singletons_negative_or_zero(self, er_small):
+        m = np.arange(er_small.n_nodes)
+        assert modularity(er_small, m) <= 0.0
+
+    def test_planted_blocks_positive(self):
+        g = planted_partition(40, 4, 0.9, 0.02, rng=0)
+        m = np.arange(40) % 4
+        assert modularity(g, m) > 0.3
+
+    def test_empty_graph_zero(self):
+        g = Graph.from_edges(4, [])
+        assert modularity(g, np.zeros(4, dtype=int)) == 0.0
+
+
+class TestGreedyModularity:
+    def test_partitions_cover_all_nodes(self, er_medium):
+        comms = greedy_modularity_communities(er_medium)
+        nodes = np.sort(np.concatenate(comms))
+        assert nodes.tolist() == list(range(er_medium.n_nodes))
+
+    def test_recovers_planted_partition(self):
+        g = planted_partition(40, 4, 0.9, 0.02, rng=1)
+        comms = greedy_modularity_communities(g)
+        # Should find roughly the 4 planted blocks.
+        assert 3 <= len(comms) <= 6
+        m = membership_of(comms, 40)
+        assert modularity(g, m) > 0.3
+
+    def test_matches_networkx_quality(self):
+        for seed in (3, 7):
+            g = erdos_renyi(35, 0.15, rng=seed)
+            ours = greedy_modularity_communities(g)
+            theirs = networkx_modularity_communities(g)
+            q_ours = modularity(g, membership_of(ours, g.n_nodes))
+            q_theirs = modularity(g, membership_of(theirs, g.n_nodes))
+            # Same algorithm: qualities should agree closely.
+            assert q_ours == pytest.approx(q_theirs, abs=0.02)
+
+    def test_empty_graph_singletons(self):
+        g = Graph.from_edges(5, [])
+        comms = greedy_modularity_communities(g)
+        assert len(comms) == 5
+
+    def test_isolated_nodes_kept(self):
+        g = Graph.from_edges(5, [(0, 1, 1.0)])
+        comms = greedy_modularity_communities(g)
+        nodes = np.sort(np.concatenate(comms))
+        assert nodes.tolist() == list(range(5))
+
+    def test_two_cliques_separated(self):
+        edges = [(i, j, 1.0) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i, j, 1.0) for i in range(4, 8) for j in range(i + 1, 8)]
+        edges += [(0, 4, 1.0)]  # single bridge
+        g = Graph.from_edges(8, edges)
+        comms = greedy_modularity_communities(g)
+        assert len(comms) == 2
+        assert sorted(len(c) for c in comms) == [4, 4]
+
+    def test_min_communities_respected(self, er_medium):
+        comms = greedy_modularity_communities(er_medium, min_communities=5)
+        assert len(comms) >= 5
+
+
+class TestSplitters:
+    def test_spectral_bisection_two_parts(self, er_medium):
+        parts = spectral_bisection(er_medium)
+        assert len(parts) == 2
+        assert abs(len(parts[0]) - len(parts[1])) <= 1
+        nodes = np.sort(np.concatenate(parts))
+        assert nodes.tolist() == list(range(er_medium.n_nodes))
+
+    def test_spectral_bisection_separates_components(self):
+        # Two disjoint triangles: Fiedler vector separates them.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        g = Graph.from_edges(6, [(a, b, 1.0) for a, b in edges])
+        parts = spectral_bisection(g)
+        sets = [set(p.tolist()) for p in parts]
+        assert {0, 1, 2} in sets and {3, 4, 5} in sets
+
+    def test_spectral_bisection_empty_graph(self):
+        g = Graph.from_edges(6, [])
+        parts = spectral_bisection(g)
+        assert len(parts) == 2
+
+    def test_random_balanced_partition_cap(self, er_medium):
+        parts = random_balanced_partition(er_medium, 7, rng=0)
+        assert max(len(p) for p in parts) <= 7
+        nodes = np.sort(np.concatenate(parts))
+        assert nodes.tolist() == list(range(er_medium.n_nodes))
+
+
+class TestPartitionWithCap:
+    @pytest.mark.parametrize("method", ["greedy_modularity", "networkx", "spectral", "random"])
+    def test_cap_respected_all_methods(self, er_medium, method):
+        result = partition_with_cap(er_medium, 8, method=method, rng=0)
+        assert result.sizes().max() <= 8
+        nodes = np.sort(np.concatenate(result.parts))
+        assert nodes.tolist() == list(range(er_medium.n_nodes))
+
+    def test_membership_consistent(self, er_medium):
+        result = partition_with_cap(er_medium, 10, rng=0)
+        for part_id, part in enumerate(result.parts):
+            assert np.all(result.membership[part] == part_id)
+
+    def test_cap_one_gives_singletons(self, er_small):
+        result = partition_with_cap(er_small, 1, rng=0)
+        assert result.n_parts == er_small.n_nodes
+
+    def test_cap_larger_than_graph(self, er_small):
+        result = partition_with_cap(er_small, 100, rng=0)
+        # Modularity partitioning may still split, but no part exceeds cap
+        assert result.sizes().max() <= 100
+
+    def test_unknown_method_rejected(self, er_small):
+        with pytest.raises(ValueError, match="unknown partition method"):
+            partition_with_cap(er_small, 5, method="metis")
+
+    def test_clique_forced_split(self):
+        # A 12-clique has no community structure; must still satisfy cap 5.
+        edges = [(i, j, 1.0) for i in range(12) for j in range(i + 1, 12)]
+        g = Graph.from_edges(12, edges)
+        result = partition_with_cap(g, 5, rng=0)
+        assert result.sizes().max() <= 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_partition_is_exact_cover_property(self, n, cap, seed):
+        g = erdos_renyi(n, 0.3, rng=seed)
+        result = partition_with_cap(g, cap, rng=seed)
+        nodes = np.sort(np.concatenate(result.parts))
+        assert nodes.tolist() == list(range(n))
+        assert result.sizes().max() <= cap

@@ -1,0 +1,128 @@
+"""Unit + property tests for repro.quantum.pauli."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import cut_diagonal, cut_value, erdos_renyi
+from repro.graphs.maxcut import bitstring_to_assignment
+from repro.quantum.pauli import IsingHamiltonian, maxcut_diagonal, zz_correlations
+from repro.quantum.statevector import basis_state, plus_state
+
+
+class TestConstruction:
+    def test_quadratic_canonicalised(self):
+        h = IsingHamiltonian(3, quadratic={(2, 0): 1.0, (0, 2): 0.5})
+        assert h.quadratic == {(0, 2): 1.5}
+
+    def test_diagonal_zz_term_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            IsingHamiltonian(2, quadratic={(1, 1): 1.0})
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            IsingHamiltonian(2, linear={5: 1.0})
+
+    def test_from_maxcut_constant(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        assert h.constant == pytest.approx(er_small.total_weight / 2)
+        assert len(h.quadratic) == er_small.n_edges
+
+
+class TestDiagonal:
+    def test_maxcut_diagonal_equals_cut_diagonal(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        assert np.allclose(h.diagonal(), cut_diagonal(er_small))
+        assert np.allclose(maxcut_diagonal(er_small), cut_diagonal(er_small))
+
+    def test_linear_term_diagonal(self):
+        h = IsingHamiltonian(2, linear={0: 1.0})
+        # Z_0 eigenvalues: +1 for bit0=0, -1 for bit0=1 -> [1, -1, 1, -1]
+        assert h.diagonal().tolist() == [1.0, -1.0, 1.0, -1.0]
+
+    def test_value_matches_diagonal(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        diag = h.diagonal()
+        for idx in (0, 3, 17, 200):
+            bits = bitstring_to_assignment(idx, er_small.n_nodes)
+            assert h.value(bits) == pytest.approx(diag[idx])
+
+    def test_diagonal_too_large(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            IsingHamiltonian(29).diagonal()
+
+
+class TestExpectations:
+    def test_basis_state_expectation(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        idx = 19
+        state = basis_state(er_small.n_nodes, idx)
+        expected = cut_value(er_small, bitstring_to_assignment(idx, er_small.n_nodes))
+        assert h.expectation(state) == pytest.approx(expected)
+
+    def test_plus_state_expectation_half_weight(self, er_small):
+        # <+|H_C|+> = W/2: every edge cut with probability 1/2.
+        h = IsingHamiltonian.from_maxcut(er_small)
+        state = plus_state(er_small.n_nodes)
+        assert h.expectation(state) == pytest.approx(er_small.total_weight / 2)
+
+    def test_expectation_from_counts_exact_on_point_mass(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        idx = 7
+        expected = cut_value(er_small, bitstring_to_assignment(idx, er_small.n_nodes))
+        assert h.expectation_from_counts({idx: 100}) == pytest.approx(expected)
+
+    def test_expectation_from_counts_empty(self):
+        h = IsingHamiltonian(2)
+        with pytest.raises(ValueError, match="empty"):
+            h.expectation_from_counts({})
+
+    def test_sampled_expectation_converges(self, er_small, rng):
+        from repro.quantum.statevector import sample_counts
+
+        h = IsingHamiltonian.from_maxcut(er_small)
+        state = plus_state(er_small.n_nodes)
+        counts = sample_counts(state, 20000, rng=rng)
+        estimate = h.expectation_from_counts(counts)
+        exact = h.expectation(state)
+        assert estimate == pytest.approx(exact, rel=0.05)
+
+
+class TestAlgebra:
+    def test_addition(self):
+        a = IsingHamiltonian(2, constant=1.0, linear={0: 1.0})
+        b = IsingHamiltonian(2, constant=2.0, linear={0: -1.0}, quadratic={(0, 1): 3.0})
+        c = a + b
+        assert c.constant == 3.0
+        assert c.linear[0] == 0.0
+        assert c.quadratic[(0, 1)] == 3.0
+
+    def test_addition_qubit_mismatch(self):
+        with pytest.raises(ValueError):
+            IsingHamiltonian(2) + IsingHamiltonian(3)
+
+    def test_scalar_multiplication(self, er_small):
+        h = IsingHamiltonian.from_maxcut(er_small)
+        assert np.allclose((2.0 * h).diagonal(), 2.0 * h.diagonal())
+
+    def test_n_terms(self):
+        h = IsingHamiltonian(3, linear={0: 1.0}, quadratic={(0, 1): 1.0, (1, 2): 1.0})
+        assert h.n_terms() == 3
+
+
+class TestZZCorrelations:
+    def test_product_state_correlations(self):
+        # |00>: <Z0 Z1> = +1 ; |01>: -1
+        assert zz_correlations(basis_state(2, 0), [(0, 1)])[0] == pytest.approx(1.0)
+        assert zz_correlations(basis_state(2, 1), [(0, 1)])[0] == pytest.approx(-1.0)
+
+    def test_bell_state_correlated(self):
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 1 / np.sqrt(2)
+        assert zz_correlations(bell, [(0, 1)])[0] == pytest.approx(1.0)
+
+    def test_plus_state_uncorrelated(self):
+        assert zz_correlations(plus_state(3), [(0, 1), (1, 2)]) == pytest.approx(
+            np.zeros(2), abs=1e-12
+        )

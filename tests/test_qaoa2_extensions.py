@@ -1,0 +1,68 @@
+"""Tests for the QAOA² extension sub-graph methods and noisy QAOA solving."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cut_value, erdos_renyi
+from repro.qaoa import QAOASolver
+from repro.qaoa2 import QAOA2Solver
+from repro.quantum import DepolarizingChannel, NoiseModel
+
+
+class TestExtensionMethods:
+    def test_rqaoa_subgraph_method(self, er_medium):
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method="rqaoa",
+            qaoa_options={"layers": 1, "maxiter": 15},
+            rng=0,
+        ).solve(er_medium)
+        assert result.cut == pytest.approx(cut_value(er_medium, result.assignment))
+        assert result.cut > er_medium.total_weight / 2
+        level0 = [rec for rec in result.subgraphs if rec.level == 0]
+        assert all(rec.method == "rqaoa" for rec in level0)
+
+    def test_anneal_subgraph_method(self, er_medium):
+        result = QAOA2Solver(
+            n_max_qubits=10, subgraph_method="anneal", rng=0
+        ).solve(er_medium)
+        assert result.cut > er_medium.total_weight / 2
+        level0 = [rec for rec in result.subgraphs if rec.level == 0]
+        assert all(rec.method == "anneal" for rec in level0)
+
+    def test_policy_may_return_extension_methods(self, er_medium):
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method=lambda g: "anneal" if g.n_nodes > 5 else "gw",
+            rng=0,
+        ).solve(er_medium)
+        assert result.cut > 0
+
+    def test_extension_methods_competitive(self, er_medium):
+        gw = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=1).solve(
+            er_medium
+        )
+        anneal = QAOA2Solver(n_max_qubits=10, subgraph_method="anneal", rng=1).solve(
+            er_medium
+        )
+        # SA on <=10-node sub-graphs is near-exact; quality comparable to GW.
+        assert anneal.cut >= 0.9 * gw.cut
+
+
+class TestNoisyQAOASolver:
+    def test_noisy_objective_runs(self):
+        graph = erdos_renyi(8, 0.4, rng=5)
+        noise = NoiseModel(one_qubit=DepolarizingChannel(0.02))
+        result = QAOASolver(
+            layers=2, maxiter=15, noise=noise, noise_trajectories=4, rng=0
+        ).solve(graph)
+        assert result.cut == pytest.approx(cut_value(graph, result.assignment))
+
+    def test_trivial_noise_matches_noiseless(self):
+        graph = erdos_renyi(8, 0.4, rng=5)
+        clean = QAOASolver(layers=2, maxiter=15, rng=0).solve(graph)
+        trivial = QAOASolver(
+            layers=2, maxiter=15, noise=NoiseModel(), rng=0
+        ).solve(graph)
+        assert clean.cut == trivial.cut
+        assert np.allclose(clean.params, trivial.params)

@@ -1,0 +1,123 @@
+"""Unit + property tests for the QAOA² merge step — the paper's central
+bookkeeping identity is verified here."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, cut_value, erdos_renyi, partition_with_cap
+from repro.qaoa2 import (
+    apply_flips,
+    assemble_global_assignment,
+    build_merge_problem,
+)
+
+
+def random_setup(seed, n=20, p=0.3, cap=6):
+    rng = np.random.default_rng(seed)
+    graph = erdos_renyi(n, p, rng=rng)
+    partition = partition_with_cap(graph, cap, rng=rng)
+    locals_ = [
+        rng.integers(0, 2, size=len(part)).astype(np.uint8)
+        for part in partition.parts
+    ]
+    return graph, partition, locals_, rng
+
+
+class TestAssemble:
+    def test_scatter_roundtrip(self):
+        graph, partition, locals_, _ = random_setup(0)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        for part, local in zip(partition.parts, locals_):
+            assert np.array_equal(x[part], local)
+
+    def test_length_mismatch_rejected(self):
+        graph, partition, locals_, _ = random_setup(1)
+        locals_[0] = locals_[0][:-1]
+        with pytest.raises(ValueError, match="length"):
+            assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+
+
+class TestMergeProblem:
+    def test_merged_graph_node_per_part(self):
+        graph, partition, locals_, _ = random_setup(2)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        merge = build_merge_problem(graph, partition.parts, partition.membership, x)
+        assert merge.merged_graph.n_nodes == partition.n_parts
+
+    def test_baseline_total_cut_identity(self):
+        graph, partition, locals_, _ = random_setup(3)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        merge = build_merge_problem(graph, partition.parts, partition.membership, x)
+        assert merge.baseline_total_cut == pytest.approx(cut_value(graph, x))
+
+    def test_merged_weights_signed_sum(self):
+        # Hand-built example: two parts {0,1}, {2,3}; cross edges (1,2) cut,
+        # (0,3) uncut -> merged weight = w(0,3) - w(1,2).
+        g = Graph.from_edges(
+            4, [(0, 1, 1.0), (2, 3, 1.0), (1, 2, 2.0), (0, 3, 5.0)]
+        )
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        membership = np.array([0, 0, 1, 1])
+        x = np.array([0, 1, 0, 1], dtype=np.uint8)  # (1,2): 1 vs 0 cut; (0,3): 0 vs 1 cut
+        merge = build_merge_problem(g, parts, membership, x)
+        # (1,2) cut -> -2 ; (0,3) cut -> -5 ; merged weight = -7
+        assert merge.merged_graph.n_edges == 1
+        assert merge.merged_graph.w[0] == pytest.approx(-7.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_total_cut_identity_property(self, seed):
+        """The key QAOA² invariant: for ANY merged assignment d,
+        cut(apply_flips(x, d)) == intra + baseline_cross + merged_cut(d)."""
+        graph, partition, locals_, rng = random_setup(seed, n=16, p=0.35, cap=5)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        merge = build_merge_problem(graph, partition.parts, partition.membership, x)
+        d = rng.integers(0, 2, size=partition.n_parts).astype(np.uint8)
+        flipped = apply_flips(x, partition.parts, d)
+        assert cut_value(graph, flipped) == pytest.approx(merge.total_cut_for(d))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_flips_never_change_intra_cut(self, seed):
+        graph, partition, locals_, rng = random_setup(seed, n=14, cap=5)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        d = rng.integers(0, 2, size=partition.n_parts).astype(np.uint8)
+        flipped = apply_flips(x, partition.parts, d)
+        membership = partition.membership
+        intra_mask = membership[graph.u] == membership[graph.v]
+        intra_before = graph.w[intra_mask & (x[graph.u] != x[graph.v])].sum()
+        intra_after = graph.w[intra_mask & (flipped[graph.u] != flipped[graph.v])].sum()
+        assert intra_before == pytest.approx(intra_after)
+
+    def test_zero_flips_is_identity(self):
+        graph, partition, locals_, _ = random_setup(4)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        same = apply_flips(x, partition.parts, np.zeros(partition.n_parts, dtype=np.uint8))
+        assert np.array_equal(same, x)
+
+    def test_all_flips_complement_like(self):
+        graph, partition, locals_, _ = random_setup(5)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        flipped = apply_flips(x, partition.parts, np.ones(partition.n_parts, dtype=np.uint8))
+        assert np.array_equal(flipped, 1 - x)
+        assert cut_value(graph, flipped) == pytest.approx(cut_value(graph, x))
+
+    def test_merged_assignment_length_check(self):
+        graph, partition, locals_, _ = random_setup(6)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        with pytest.raises(ValueError, match="number of parts"):
+            apply_flips(x, partition.parts, np.zeros(partition.n_parts + 1, dtype=np.uint8))
+
+    def test_optimal_merge_improves_or_equals(self):
+        """Solving the merged problem exactly never yields less than the
+        baseline (merged cut >= 0 via the empty cut)."""
+        from repro.graphs import exact_maxcut_bruteforce
+
+        graph, partition, locals_, _ = random_setup(7)
+        x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
+        merge = build_merge_problem(graph, partition.parts, partition.membership, x)
+        best = exact_maxcut_bruteforce(merge.merged_graph)
+        flipped = apply_flips(x, partition.parts, best.assignment)
+        assert cut_value(graph, flipped) >= cut_value(graph, x) - 1e-9

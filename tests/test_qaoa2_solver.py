@@ -1,0 +1,201 @@
+"""Unit tests for the QAOA² driver."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cut_value, erdos_renyi, planted_partition, random_cut
+from repro.hpc.executor import ExecutorConfig
+from repro.qaoa2 import (
+    QAOA2Solver,
+    expected_subproblem_count,
+)
+
+FAST_QAOA = {"layers": 2, "maxiter": 20}
+
+
+class TestBasics:
+    def test_cut_consistency(self, er_medium):
+        result = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=0).solve(
+            er_medium
+        )
+        assert result.cut == pytest.approx(cut_value(er_medium, result.assignment))
+
+    def test_small_graph_single_leaf(self, er_small):
+        result = QAOA2Solver(n_max_qubits=20, subgraph_method="gw", rng=0).solve(
+            er_small
+        )
+        assert result.n_subproblems == 1
+        assert len(result.levels) == 0
+
+    def test_beats_random_cut(self, er_medium):
+        result = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=0).solve(
+            er_medium
+        )
+        rnd = random_cut(er_medium, rng=0)
+        assert result.cut > rnd.cut
+
+    def test_beats_half_weight_bound(self, er_medium):
+        # Any sensible MaxCut heuristic beats E[random] = W/2 here.
+        result = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=1).solve(
+            er_medium
+        )
+        assert result.cut > er_medium.total_weight / 2
+
+    @pytest.mark.parametrize("method", ["qaoa", "gw", "best"])
+    def test_all_methods_run(self, er_medium, method):
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method=method,
+            qaoa_options=FAST_QAOA,
+            rng=0,
+        ).solve(er_medium)
+        assert result.cut > 0
+        assert result.n_subproblems >= 2
+
+    def test_best_picks_max_per_subgraph(self, er_medium):
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method="best",
+            qaoa_options=FAST_QAOA,
+            rng=0,
+        ).solve(er_medium)
+        for rec in result.subgraphs:
+            if rec.method.startswith("best:"):
+                assert rec.cut == pytest.approx(max(rec.qaoa_cut, rec.gw_cut))
+
+    def test_policy_callable(self, er_medium):
+        calls = []
+
+        def policy(subgraph):
+            calls.append(subgraph.n_nodes)
+            return "gw"
+
+        result = QAOA2Solver(
+            n_max_qubits=10, subgraph_method=policy, rng=0
+        ).solve(er_medium)
+        level0 = [rec for rec in result.subgraphs if rec.level == 0]
+        # The policy is consulted once per first-level sub-graph.
+        assert len(calls) == len(level0) > 0
+        assert all(rec.method == "gw" for rec in level0)
+
+    def test_invalid_policy_return(self, er_medium):
+        result_solver = QAOA2Solver(
+            n_max_qubits=10, subgraph_method=lambda g: "magic", rng=0
+        )
+        with pytest.raises(ValueError, match="unknown method"):
+            result_solver.solve(er_medium)
+
+    def test_unknown_static_method(self, er_medium):
+        with pytest.raises(ValueError, match="unknown sub-graph method"):
+            QAOA2Solver(n_max_qubits=10, subgraph_method="oracle", rng=0).solve(
+                er_medium
+            )
+
+    def test_deterministic_with_seed(self, er_medium):
+        a = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=3).solve(er_medium)
+        b = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=3).solve(er_medium)
+        assert a.cut == b.cut
+        assert np.array_equal(a.assignment, b.assignment)
+
+
+class TestRecursion:
+    def test_multi_level_recursion(self):
+        # 80 nodes, cap 6 -> ~14 parts -> merged graph 14 > 6 -> level 2.
+        g = erdos_renyi(80, 0.08, rng=4)
+        result = QAOA2Solver(n_max_qubits=6, subgraph_method="gw", rng=0).solve(g)
+        assert len(result.levels) >= 2
+        max_level = max(rec.level for rec in result.subgraphs)
+        assert max_level >= 1
+
+    def test_deeper_levels_use_merged_method(self):
+        g = erdos_renyi(80, 0.08, rng=4)
+        result = QAOA2Solver(
+            n_max_qubits=6,
+            subgraph_method="qaoa",
+            merged_method="gw",
+            qaoa_options=FAST_QAOA,
+            rng=0,
+        ).solve(g)
+        for rec in result.subgraphs:
+            if rec.level > 0:
+                assert rec.method == "gw"
+
+    def test_level_accounting(self, er_medium):
+        result = QAOA2Solver(n_max_qubits=8, subgraph_method="gw", rng=0).solve(
+            er_medium
+        )
+        for level in result.levels:
+            assert level.n_parts >= 2
+            assert level.merged_nodes == level.n_parts
+            assert level.merged_gain >= 0.0
+
+    def test_subgraph_records_sizes(self, er_medium):
+        result = QAOA2Solver(n_max_qubits=8, subgraph_method="gw", rng=0).solve(
+            er_medium
+        )
+        level0 = [rec for rec in result.subgraphs if rec.level == 0]
+        assert sum(rec.n_nodes for rec in level0) == er_medium.n_nodes
+        assert all(rec.n_nodes <= 8 for rec in level0)
+
+    def test_expected_subproblem_formula(self):
+        assert expected_subproblem_count(100, 10) == pytest.approx(
+            100 * (10 - 1) / (10 * 9)
+        )
+        assert expected_subproblem_count(5, 10) == 1.0
+        # a=1 for N=100, n=10 -> N/n = 10 subproblems
+        assert expected_subproblem_count(100, 10) == pytest.approx(10.0)
+
+    def test_planted_partition_high_quality(self):
+        # Graph with clean communities: QAOA² should get near the bipartite
+        # structure quality of a global method.
+        g = planted_partition(48, 6, 0.7, 0.05, rng=5)
+        result = QAOA2Solver(n_max_qubits=8, subgraph_method="gw", rng=0).solve(g)
+        from repro.classical import goemans_williamson
+
+        gw_full = goemans_williamson(g, rng=0)
+        assert result.cut >= 0.8 * gw_full.best_cut
+
+
+class TestParallelBackends:
+    def test_thread_backend_matches_serial(self, er_medium):
+        serial = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=7).solve(
+            er_medium
+        )
+        threaded = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method="gw",
+            rng=7,
+            executor=ExecutorConfig(backend="thread", max_workers=4),
+        ).solve(er_medium)
+        assert serial.cut == threaded.cut
+        assert np.array_equal(serial.assignment, threaded.assignment)
+
+    @pytest.mark.slow
+    def test_process_backend_matches_serial(self, er_medium):
+        serial = QAOA2Solver(n_max_qubits=10, subgraph_method="gw", rng=7).solve(
+            er_medium
+        )
+        procs = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method="gw",
+            rng=7,
+            executor=ExecutorConfig(backend="process", max_workers=2),
+        ).solve(er_medium)
+        assert serial.cut == procs.cut
+
+
+class TestQaoaGrid:
+    def test_grid_improves_or_matches_single(self, er_medium):
+        single = QAOA2Solver(
+            n_max_qubits=8, subgraph_method="qaoa", qaoa_options=FAST_QAOA, rng=5
+        ).solve(er_medium)
+        grid = QAOA2Solver(
+            n_max_qubits=8,
+            subgraph_method="qaoa",
+            qaoa_options=FAST_QAOA,
+            qaoa_grid=[{"rhobeg": 0.3}, {"rhobeg": 0.5}, {"layers": 3}],
+            rng=5,
+        ).solve(er_medium)
+        # Per-subgraph best-over-grid can only help on the subgraph level;
+        # allow small global slack from different merged problems.
+        assert grid.cut >= single.cut - 2.0

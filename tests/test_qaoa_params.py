@@ -1,0 +1,104 @@
+"""Unit tests for QAOA parameter strategies."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa.params import (
+    default_iterations,
+    fixed_init,
+    initial_parameters,
+    linear_ramp_init,
+    random_init,
+    transfer_parameters,
+)
+
+
+class TestInitializers:
+    def test_fixed_shape_and_values(self):
+        params = fixed_init(3, gamma0=0.2, beta0=0.3)
+        assert len(params) == 6
+        assert np.allclose(params[:3], 0.2)
+        assert np.allclose(params[3:], 0.3)
+
+    def test_ramp_monotone(self):
+        params = linear_ramp_init(5)
+        gammas, betas = params[:5], params[5:]
+        assert np.all(np.diff(gammas) > 0)  # gamma grows
+        assert np.all(np.diff(betas) < 0)  # beta shrinks
+
+    def test_ramp_symmetry(self):
+        # Annealing-path symmetry: γ_l mirrors β_{p-1-l}.
+        params = linear_ramp_init(4, delta=1.0)
+        gammas, betas = params[:4], params[4:]
+        assert np.allclose(gammas, betas[::-1])
+
+    def test_random_within_scale(self):
+        params = random_init(10, rng=0, scale=0.5)
+        assert np.all(np.abs(params) <= 0.5)
+
+    def test_random_seeded(self):
+        assert np.allclose(random_init(4, rng=3), random_init(4, rng=3))
+
+    def test_dispatch_strategies(self):
+        for strategy in ("fixed", "ramp", "random"):
+            params = initial_parameters(3, strategy, rng=0)
+            assert len(params) == 6
+
+    def test_warm_requires_warm_start(self):
+        with pytest.raises(ValueError, match="warm_start"):
+            initial_parameters(3, "warm")
+
+    def test_warm_uses_given_params(self):
+        warm = np.array([0.1, 0.2, 0.3, 0.4])
+        params = initial_parameters(2, "warm", warm_start=warm)
+        assert np.allclose(params, warm)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown"):
+            initial_parameters(3, "magic")
+
+
+class TestTransfer:
+    def test_same_p_is_copy(self):
+        params = np.array([0.1, 0.2, 0.3, 0.4])
+        out = transfer_parameters(params, 2)
+        assert np.allclose(out, params)
+        out[0] = 99
+        assert params[0] == 0.1
+
+    def test_upsample_preserves_endpoints(self):
+        params = np.array([0.1, 0.5, 0.9, 0.8, 0.4, 0.0])  # p=3
+        out = transfer_parameters(params, 5)
+        gammas, betas = out[:5], out[5:]
+        assert gammas[0] == pytest.approx(0.1)
+        assert gammas[-1] == pytest.approx(0.9)
+        assert betas[0] == pytest.approx(0.8)
+        assert betas[-1] == pytest.approx(0.0)
+
+    def test_downsample_shape(self):
+        params = linear_ramp_init(8)
+        out = transfer_parameters(params, 3)
+        assert len(out) == 6
+
+    def test_p_one_special_case(self):
+        out = transfer_parameters(np.array([0.2, 0.4]), 3)
+        assert len(out) == 6
+        assert np.allclose(out[:3], 0.2)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            transfer_parameters(np.zeros(5), 3)
+
+
+class TestIterationBudget:
+    def test_paper_endpoints(self):
+        assert default_iterations(3) == 30
+        assert default_iterations(8) == 100
+
+    def test_linear_between(self):
+        assert default_iterations(5) == 58  # 30 + 2/5*70
+        assert default_iterations(6) == 72
+
+    def test_clamped_outside_range(self):
+        assert default_iterations(1) == 30
+        assert default_iterations(20) == 100

@@ -1,0 +1,105 @@
+"""Unit + property tests for the QUBO formulation and annealer sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import QUBO, SimulatedAnnealerSampler
+from repro.graphs import cut_value, erdos_renyi, exact_maxcut_bruteforce
+from repro.quantum import IsingHamiltonian
+
+
+class TestQUBO:
+    def test_energy_is_negative_cut(self):
+        g = erdos_renyi(10, 0.4, rng=0)
+        qubo = QUBO.from_maxcut(g)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.integers(0, 2, g.n_nodes).astype(np.uint8)
+            assert qubo.energy(x) == pytest.approx(-cut_value(g, x))
+
+    def test_minimum_energy_matches_exact_maxcut(self):
+        g = erdos_renyi(8, 0.5, rng=1)
+        qubo = QUBO.from_maxcut(g)
+        exact = exact_maxcut_bruteforce(g)
+        best_energy = min(
+            qubo.energy(np.array([(i >> q) & 1 for q in range(8)], dtype=np.uint8))
+            for i in range(256)
+        )
+        assert best_energy == pytest.approx(-exact.cut)
+
+    def test_coefficients_canonicalised(self):
+        qubo = QUBO(3, {(2, 0): 1.0, (0, 2): 2.0})
+        assert qubo.coefficients == {(0, 2): 3.0}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QUBO(2, {(0, 5): 1.0})
+
+    def test_matrix_upper_triangular(self):
+        g = erdos_renyi(6, 0.5, rng=2)
+        q = QUBO.from_maxcut(g).to_matrix()
+        assert np.allclose(q, np.triu(q))
+
+    def test_assignment_length_check(self):
+        qubo = QUBO(3, {(0, 1): 1.0})
+        with pytest.raises(ValueError, match="length"):
+            qubo.energy(np.zeros(2, dtype=np.uint8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500))
+    def test_ising_conversion_consistent(self, seed):
+        """QUBO energy == Ising energy under x = (1 − z)/2 for all x."""
+        g = erdos_renyi(6, 0.5, rng=seed)
+        qubo = QUBO.from_maxcut(g)
+        h, J, offset = qubo.to_ising()
+        ham = IsingHamiltonian(6, constant=offset, linear=h, quadratic=J)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            x = rng.integers(0, 2, 6).astype(np.uint8)
+            assert qubo.energy(x) == pytest.approx(ham.value(x))
+
+    def test_ising_matches_maxcut_hamiltonian(self):
+        """The QUBO→Ising route equals −H_C (the paper's Eq. 1) up to sign."""
+        g = erdos_renyi(7, 0.4, rng=9)
+        h, J, offset = QUBO.from_maxcut(g).to_ising()
+        qubo_ising = IsingHamiltonian(7, constant=offset, linear=h, quadratic=J)
+        hc = IsingHamiltonian.from_maxcut(g)
+        assert np.allclose(qubo_ising.diagonal(), -hc.diagonal())
+
+
+class TestAnnealerSampler:
+    def test_sample_best_first(self):
+        g = erdos_renyi(10, 0.4, rng=3)
+        sampler = SimulatedAnnealerSampler(n_sweeps=3000)
+        result = sampler.sample(QUBO.from_maxcut(g), num_reads=8, rng=0)
+        energies = [s.energy for s in result.samples]
+        assert energies == sorted(energies)
+        assert result.lowest_energy() == energies[0]
+
+    def test_occurrence_merging(self):
+        g = erdos_renyi(6, 0.6, rng=4)
+        sampler = SimulatedAnnealerSampler(n_sweeps=5000)
+        result = sampler.sample(QUBO.from_maxcut(g), num_reads=20, rng=0)
+        assert sum(s.num_occurrences for s in result.samples) == 20
+
+    def test_finds_optimum_small_instance(self):
+        g = erdos_renyi(10, 0.4, rng=5)
+        exact = exact_maxcut_bruteforce(g)
+        sampler = SimulatedAnnealerSampler(n_sweeps=5000)
+        result = sampler.sample_maxcut(g, num_reads=10, rng=0)
+        assert result.cut == pytest.approx(exact.cut)
+
+    def test_sample_maxcut_result_fields(self):
+        g = erdos_renyi(8, 0.4, rng=6)
+        result = SimulatedAnnealerSampler().sample_maxcut(g, num_reads=4, rng=0)
+        assert result.method == "annealer_qubo"
+        assert result.cut == pytest.approx(cut_value(g, result.assignment))
+        assert result.extra["energy"] == pytest.approx(-result.cut)
+
+    def test_deterministic_with_seed(self):
+        g = erdos_renyi(8, 0.4, rng=7)
+        a = SimulatedAnnealerSampler().sample_maxcut(g, num_reads=3, rng=5)
+        b = SimulatedAnnealerSampler().sample_maxcut(g, num_reads=3, rng=5)
+        assert a.cut == b.cut

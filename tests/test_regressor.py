@@ -1,0 +1,106 @@
+"""Unit tests for the MLP parameter predictor (ref [37] analogue)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.ml import GridRecord, KnowledgeBase, MLPRegressor, ParameterPredictor
+from repro.qaoa import QAOASolver
+
+
+class TestMLPRegressor:
+    def test_fits_linear_function(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = x @ np.array([[1.0, -0.5], [0.3, 0.2], [0.0, 1.0]]) + 0.1
+        model = MLPRegressor(hidden=16, n_epochs=300).fit(x, y, rng=0)
+        pred = model.predict(x)
+        mse = float(np.mean((pred - y) ** 2))
+        assert mse < 0.05
+
+    def test_loss_decreases(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = np.sin(x[:, :1])
+        model = MLPRegressor(hidden=8, n_epochs=100).fit(x, y, rng=0)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_single_sample_predict(self, rng):
+        x = rng.normal(size=(50, 2))
+        y = x.sum(axis=1, keepdims=True)
+        model = MLPRegressor(hidden=8, n_epochs=100).fit(x, y, rng=0)
+        out = model.predict(x[0])
+        assert out.shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros(3))
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(60, 2))
+        y = x[:, :1]
+        a = MLPRegressor(hidden=8, n_epochs=50).fit(x, y, rng=7).predict(x[:5])
+        b = MLPRegressor(hidden=8, n_epochs=50).fit(x, y, rng=7).predict(x[:5])
+        assert np.allclose(a, b)
+
+
+class TestParameterPredictor:
+    def build_dataset(self, n_graphs=25, p_layers=2):
+        """Synthetic 'optimal parameters' correlated with graph density."""
+        graphs, vectors = [], []
+        rng = np.random.default_rng(0)
+        for seed in range(n_graphs):
+            p_edge = 0.15 + 0.5 * (seed / n_graphs)
+            g = erdos_renyi(10, p_edge, rng=seed)
+            graphs.append(g)
+            gamma = 0.8 - 0.5 * g.density  # denser graph -> smaller gamma
+            vectors.append(np.array([gamma, gamma * 0.8, 0.4, 0.2]))
+        return graphs, vectors
+
+    def test_predicts_density_trend(self):
+        graphs, vectors = self.build_dataset()
+        predictor = ParameterPredictor(p_train=2)
+        predictor.model = MLPRegressor(hidden=16, n_epochs=500)
+        predictor.fit(graphs, vectors, rng=1)
+        sparse_params = predictor.predict_initial_parameters(
+            erdos_renyi(10, 0.15, rng=100)
+        )
+        dense_params = predictor.predict_initial_parameters(
+            erdos_renyi(10, 0.65, rng=101)
+        )
+        assert sparse_params[0] > dense_params[0]  # learned gamma trend
+
+    def test_layer_reinterpolation(self):
+        graphs, vectors = self.build_dataset()
+        predictor = ParameterPredictor(p_train=2).fit(graphs, vectors, rng=1)
+        params = predictor.predict_initial_parameters(graphs[0], p=4)
+        assert len(params) == 8
+
+    def test_warm_start_runs_in_solver(self):
+        graphs, vectors = self.build_dataset()
+        predictor = ParameterPredictor(p_train=2).fit(graphs, vectors, rng=1)
+        graph = erdos_renyi(10, 0.3, rng=200)
+        warm = predictor.predict_initial_parameters(graph)
+        result = QAOASolver(
+            layers=2, init="warm", warm_start=warm, maxiter=20, rng=0
+        ).solve(graph)
+        assert result.cut > 0
+
+    def test_from_knowledge_base(self):
+        kb = KnowledgeBase()
+        rng = np.random.default_rng(0)
+        for seed in range(12):
+            p_edge = 0.2 + 0.03 * seed
+            kb.add(
+                GridRecord(
+                    10, round(p_edge, 2), False, 2, 0.5,
+                    qaoa_cut=10.0, gw_cut=9.0,
+                    qaoa_params=list(rng.uniform(0, 1, 4)),
+                )
+            )
+        predictor = ParameterPredictor.from_knowledge_base(kb, p_train=2, rng=0)
+        params = predictor.predict_initial_parameters(erdos_renyi(10, 0.3, rng=5))
+        assert len(params) == 4
+        assert np.all(np.isfinite(params))
+
+    def test_from_empty_knowledge_base(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            ParameterPredictor.from_knowledge_base(KnowledgeBase(), p_train=2)

@@ -1,0 +1,73 @@
+"""Unit tests for recursive QAOA."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_bipartite,
+    cut_value,
+    erdos_renyi,
+    exact_maxcut_bruteforce,
+    ring,
+)
+from repro.qaoa import QAOASolver, rqaoa_solve
+
+
+class TestRQAOA:
+    def test_cut_consistency(self):
+        g = erdos_renyi(12, 0.35, rng=3)
+        result = rqaoa_solve(g, n_cutoff=6, layers=2, rng=0)
+        assert result.cut == pytest.approx(cut_value(g, result.assignment))
+
+    def test_bounded_by_exact(self):
+        g = erdos_renyi(12, 0.35, rng=3)
+        exact = exact_maxcut_bruteforce(g).cut
+        result = rqaoa_solve(g, n_cutoff=6, layers=2, rng=0)
+        assert result.cut <= exact + 1e-9
+
+    def test_elimination_count(self):
+        g = erdos_renyi(12, 0.4, rng=5)
+        result = rqaoa_solve(g, n_cutoff=6, layers=1, rng=0)
+        assert len(result.eliminations) == 12 - 6
+        assert result.extra["n_eliminated"] == 6
+
+    def test_small_graph_skips_eliminations(self):
+        g = erdos_renyi(5, 0.6, rng=1)
+        result = rqaoa_solve(g, n_cutoff=8, layers=1, rng=0)
+        assert result.eliminations == []
+        assert result.cut == exact_maxcut_bruteforce(g).cut  # pure brute force
+
+    def test_bipartite_exact(self):
+        g = complete_bipartite(4, 4)
+        result = rqaoa_solve(g, n_cutoff=4, layers=2, rng=0)
+        assert result.cut == pytest.approx(16.0)
+
+    def test_ring_quality(self):
+        g = ring(12)
+        result = rqaoa_solve(g, n_cutoff=6, layers=2, rng=1)
+        assert result.cut >= 10.0  # optimum 12; RQAOA should be close
+
+    def test_custom_solver_respected(self):
+        g = erdos_renyi(10, 0.4, rng=2)
+        solver = QAOASolver(layers=1, maxiter=15, rng=0)
+        result = rqaoa_solve(g, n_cutoff=5, solver=solver, rng=0)
+        assert result.cut >= 0
+
+    def test_competitive_with_plain_qaoa(self):
+        # On several seeds, RQAOA should on average not lose badly to QAOA.
+        wins = 0
+        for seed in range(4):
+            g = erdos_renyi(12, 0.3, rng=seed + 50)
+            rq = rqaoa_solve(g, n_cutoff=6, layers=2, rng=seed).cut
+            plain = QAOASolver(layers=2, rng=seed, maxiter=40).solve(g).cut
+            if rq >= plain:
+                wins += 1
+        assert wins >= 2
+
+    def test_eliminations_reference_original_labels(self):
+        g = erdos_renyi(10, 0.5, rng=7)
+        result = rqaoa_solve(g, n_cutoff=5, layers=1, rng=0)
+        for keep, remove, sign in result.eliminations:
+            assert 0 <= keep < 10 and 0 <= remove < 10
+            assert sign in (-1, 1)
+            assert keep != remove

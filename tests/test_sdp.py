@@ -1,0 +1,113 @@
+"""Unit + property tests for the SDP solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import solve_sdp, solve_sdp_admm, solve_sdp_mixing
+from repro.graphs import (
+    Graph,
+    complete,
+    complete_bipartite,
+    erdos_renyi,
+    exact_maxcut_bruteforce,
+)
+
+
+class TestMixingMethod:
+    def test_unit_norm_columns(self, er_small):
+        result = solve_sdp_mixing(er_small, rng=0)
+        norms = np.linalg.norm(result.vectors, axis=0)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_upper_bounds_exact_maxcut(self):
+        for seed in range(4):
+            g = erdos_renyi(12, 0.4, rng=seed)
+            sdp = solve_sdp_mixing(g, rng=seed)
+            exact = exact_maxcut_bruteforce(g).cut
+            assert sdp.objective >= exact - 1e-6
+
+    def test_bipartite_tight(self):
+        # K_{a,b} SDP relaxation is tight (rank-1 optimal).
+        g = complete_bipartite(4, 5)
+        sdp = solve_sdp_mixing(g, rng=0)
+        assert sdp.objective == pytest.approx(20.0, rel=1e-4)
+
+    def test_gram_matrix_psd_unit_diagonal(self, er_small):
+        result = solve_sdp_mixing(er_small, rng=1)
+        gram = result.gram
+        assert np.allclose(np.diag(gram), 1.0, atol=1e-9)
+        eigs = np.linalg.eigvalsh(gram)
+        assert eigs.min() >= -1e-9
+
+    def test_convergence_flag(self, er_small):
+        result = solve_sdp_mixing(er_small, rng=0, max_sweeps=500)
+        assert result.converged
+
+    def test_custom_rank(self, er_small):
+        result = solve_sdp_mixing(er_small, rank=3, rng=0)
+        assert result.vectors.shape[0] == 3
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(4, [])
+        result = solve_sdp_mixing(g, rng=0)
+        assert result.objective == 0.0
+
+    def test_negative_weights(self):
+        base = erdos_renyi(10, 0.5, rng=2)
+        g = base.with_weights(np.random.default_rng(0).uniform(-1, 1, base.n_edges))
+        sdp = solve_sdp_mixing(g, rng=0)
+        exact = exact_maxcut_bruteforce(g).cut
+        assert sdp.objective >= exact - 1e-6
+
+    def test_deterministic_with_seed(self, er_small):
+        a = solve_sdp_mixing(er_small, rng=5)
+        b = solve_sdp_mixing(er_small, rng=5)
+        assert a.objective == pytest.approx(b.objective)
+
+
+class TestADMM:
+    def test_agrees_with_mixing(self):
+        for seed in (0, 1):
+            g = erdos_renyi(10, 0.5, rng=seed)
+            mix = solve_sdp_mixing(g, rng=seed)
+            admm = solve_sdp_admm(g)
+            assert admm.objective == pytest.approx(mix.objective, rel=0.02)
+
+    def test_upper_bounds_exact(self):
+        g = erdos_renyi(10, 0.5, rng=3)
+        exact = exact_maxcut_bruteforce(g).cut
+        assert solve_sdp_admm(g).objective >= exact - 1e-4
+
+    def test_complete_graph_known_value(self):
+        # K_n SDP optimum = n^2/4 * (edge weight contribution): for K_n the
+        # SDP value is n(n-1)/2 * (1-(-1/(n-1)))/2 = n^2/4.
+        n = 6
+        sdp = solve_sdp_admm(complete(n))
+        assert sdp.objective == pytest.approx(n * n / 4.0, rel=0.02)
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(3, [])
+        assert solve_sdp_admm(g).objective == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDispatch:
+    def test_method_selection(self, er_small):
+        assert solve_sdp(er_small, method="mixing", rng=0).method == "mixing"
+        assert solve_sdp(er_small, method="admm").method == "admm"
+
+    def test_unknown_method(self, er_small):
+        with pytest.raises(ValueError, match="unknown SDP method"):
+            solve_sdp(er_small, method="ipm")
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_sdp_sandwich_property(self, seed):
+        """exact <= SDP <= total positive weight, for random instances."""
+        g = erdos_renyi(9, 0.4, rng=seed)
+        sdp = solve_sdp_mixing(g, rng=seed)
+        exact = exact_maxcut_bruteforce(g).cut
+        # Lower slack reflects the solver's relative convergence tolerance
+        # (tight instances stop a hair below the true optimum).
+        assert exact * (1 - 1e-4) - 1e-6 <= sdp.objective <= g.total_weight + 1e-6

@@ -1,0 +1,225 @@
+"""Unit tests for repro.synth (model, passes, synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cut_diagonal, erdos_renyi
+from repro.quantum import Circuit, StatevectorSimulator, run_qaoa_reference
+from repro.quantum.circuit import ParamRef
+from repro.quantum.statevector import fidelity
+from repro.synth import (
+    CombinatorialModel,
+    OptimizationTarget,
+    Preferences,
+    QAOAConfig,
+    cancel_identities,
+    circuit_metrics,
+    decompose_rzz,
+    fuse_rotations,
+    greedy_edge_coloring,
+    qaoa_ansatz,
+    schedule_commuting_layer,
+    synthesize,
+)
+
+
+@pytest.fixture
+def model(er_small):
+    return CombinatorialModel.maxcut(er_small, layers=2)
+
+
+class TestModel:
+    def test_maxcut_model_fields(self, er_small, model):
+        assert model.n_qubits == er_small.n_nodes
+        assert model.qaoa.layers == 2
+        assert model.name == "maxcut"
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            QAOAConfig(layers=0)
+
+    def test_invalid_basis(self):
+        with pytest.raises(ValueError, match="basis"):
+            Preferences(basis="xy")
+
+
+class TestEdgeColoring:
+    def test_disjoint_within_class(self, er_small):
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        classes = greedy_edge_coloring(er_small.n_nodes, edges)
+        for cls in classes:
+            seen = set()
+            for k in cls:
+                a, b = edges[k]
+                assert a not in seen and b not in seen
+                seen.update((a, b))
+
+    def test_all_edges_colored_once(self, er_small):
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        classes = greedy_edge_coloring(er_small.n_nodes, edges)
+        flat = sorted(k for cls in classes for k in cls)
+        assert flat == list(range(len(edges)))
+
+    def test_color_count_bounded(self, er_small):
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        classes = greedy_edge_coloring(er_small.n_nodes, edges)
+        max_degree = int(er_small.degrees().max())
+        assert len(classes) <= 2 * max_degree - 1 if max_degree else True
+
+    def test_star_graph_needs_degree_colors(self):
+        edges = [(0, k) for k in range(1, 6)]
+        classes = greedy_edge_coloring(6, edges)
+        assert len(classes) == 5
+
+
+class TestScheduler:
+    def test_same_unitary_after_reorder(self):
+        qc = Circuit(4)
+        for (a, b), theta in zip([(0, 1), (1, 2), (2, 3), (0, 3)], [0.3, 0.5, 0.7, 0.9]):
+            qc.rzz(theta, a, b)
+        scheduled = schedule_commuting_layer(4, qc.instructions)
+        qc2 = Circuit(4, scheduled)
+        sim = StatevectorSimulator()
+        init = np.random.default_rng(0).standard_normal(16) + 0j
+        init /= np.linalg.norm(init)
+        s1 = sim.run(qc, initial_state=init).state
+        s2 = sim.run(qc2, initial_state=init).state
+        assert np.allclose(s1, s2)
+
+    def test_depth_reduced_on_path(self):
+        # Path graph RZZ chain: naive depth 3, colored depth 2.
+        qc = Circuit(4).rzz(0.1, 0, 1).rzz(0.1, 1, 2).rzz(0.1, 2, 3)
+        scheduled = Circuit(4, schedule_commuting_layer(4, qc.instructions))
+        assert scheduled.depth() <= qc.depth()
+        assert scheduled.depth() == 2
+
+    def test_non_commuting_rejected(self):
+        qc = Circuit(2).cx(0, 1)
+        with pytest.raises(ValueError, match="non-commuting"):
+            schedule_commuting_layer(2, qc.instructions)
+
+
+class TestFusion:
+    def test_adjacent_rz_fused(self):
+        qc = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        fused = fuse_rotations(qc)
+        assert fused.size() == 1
+        assert fused.instructions[0].params[0] == pytest.approx(0.7)
+
+    def test_fusion_blocked_by_intervening_gate(self):
+        qc = Circuit(1).rz(0.3, 0).h(0).rz(0.4, 0)
+        assert fuse_rotations(qc).size() == 3
+
+    def test_paramref_same_index_fused(self):
+        qc = Circuit(1)
+        qc.rx(ParamRef(0, 1.0), 0)
+        qc.rx(ParamRef(0, 2.0), 0)
+        fused = fuse_rotations(qc)
+        assert fused.size() == 1
+        assert fused.instructions[0].params[0].coeff == pytest.approx(3.0)
+
+    def test_paramref_different_index_not_fused(self):
+        qc = Circuit(1)
+        qc.rx(ParamRef(0), 0)
+        qc.rx(ParamRef(1), 0)
+        assert fuse_rotations(qc).size() == 2
+
+    def test_rzz_fused_on_same_pair(self):
+        qc = Circuit(2).rzz(0.2, 0, 1).rzz(0.3, 0, 1)
+        fused = fuse_rotations(qc)
+        assert fused.size() == 1
+        assert fused.instructions[0].params[0] == pytest.approx(0.5)
+
+    def test_fusion_preserves_unitary(self, rng):
+        qc = Circuit(2).rz(0.3, 0).rz(-0.1, 0).rx(0.2, 1).rx(0.5, 1).rzz(0.1, 0, 1)
+        sim = StatevectorSimulator()
+        init = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        init /= np.linalg.norm(init)
+        s1 = sim.run(qc, initial_state=init).state
+        s2 = sim.run(fuse_rotations(qc), initial_state=init).state
+        assert np.allclose(s1, s2)
+
+
+class TestCancellation:
+    def test_zero_angle_removed(self):
+        qc = Circuit(1).rz(0.0, 0).rx(0.5, 0)
+        assert cancel_identities(qc).size() == 1
+
+    def test_adjacent_h_pair_cancelled(self):
+        qc = Circuit(1).h(0).h(0)
+        assert cancel_identities(qc).size() == 0
+
+    def test_cx_pair_cancelled(self):
+        qc = Circuit(2).cx(0, 1).cx(0, 1)
+        assert cancel_identities(qc).size() == 0
+
+    def test_cx_different_qubits_kept(self):
+        qc = Circuit(3).cx(0, 1).cx(1, 2)
+        assert cancel_identities(qc).size() == 2
+
+    def test_cascading_cancellation(self):
+        # h x x h -> h h -> empty
+        qc = Circuit(1).h(0).x(0).x(0).h(0)
+        assert cancel_identities(qc).size() == 0
+
+    def test_intervening_gate_blocks_cancel(self):
+        qc = Circuit(1).h(0).rz(0.1, 0).h(0)
+        assert cancel_identities(qc).size() == 3
+
+
+class TestDecompose:
+    def test_rzz_to_cx_rz_cx(self):
+        qc = Circuit(2).rzz(0.7, 0, 1)
+        lowered = decompose_rzz(qc)
+        assert [ins.name for ins in lowered.instructions] == ["cx", "rz", "cx"]
+
+    def test_decomposition_preserves_unitary(self, rng):
+        qc = Circuit(3).rzz(0.7, 0, 2).rzz(-0.4, 1, 2)
+        sim = StatevectorSimulator()
+        init = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        init /= np.linalg.norm(init)
+        s1 = sim.run(qc, initial_state=init).state
+        s2 = sim.run(decompose_rzz(qc), initial_state=init).state
+        assert np.allclose(s1, s2, atol=1e-10)
+
+
+class TestSynthesis:
+    def test_ansatz_param_layout(self, model):
+        qc = qaoa_ansatz(model)
+        assert qc.n_params == 2 * model.qaoa.layers
+
+    def test_synthesized_state_matches_reference(self, er_small, model):
+        report = synthesize(model)
+        params = np.array([0.4, 0.1, 0.3, 0.2])  # gammas then betas
+        bound = report.circuit.bind(params)
+        state = StatevectorSimulator().statevector(bound)
+        ref = run_qaoa_reference(
+            cut_diagonal(er_small), params[:2], params[2:]
+        )
+        assert fidelity(state, ref) == pytest.approx(1.0, abs=1e-9)
+
+    def test_depth_optimization_reduces_depth(self, model):
+        report = synthesize(model, Preferences(optimize=OptimizationTarget.DEPTH))
+        assert report.optimized_metrics["depth"] <= report.naive_metrics["depth"]
+        assert report.depth_reduction >= 0.0
+
+    def test_cx_basis_has_no_rzz(self, model):
+        report = synthesize(model, Preferences(basis="cx"))
+        assert "rzz" not in report.circuit.gate_counts()
+        assert report.circuit.gate_counts().get("cx", 0) > 0
+
+    def test_cx_basis_state_matches(self, er_small, model):
+        report = synthesize(model, Preferences(basis="cx"))
+        params = np.array([0.4, 0.1, 0.3, 0.2])
+        state = StatevectorSimulator().statevector(report.circuit.bind(params))
+        ref = run_qaoa_reference(cut_diagonal(er_small), params[:2], params[2:])
+        assert fidelity(state, ref) == pytest.approx(1.0, abs=1e-9)
+
+    def test_max_depth_constraint_violation(self, model):
+        with pytest.raises(ValueError, match="max_depth"):
+            synthesize(model, Preferences(max_depth=1))
+
+    def test_metrics_shape(self, model):
+        report = synthesize(model)
+        for key in ("size", "depth", "two_qubit", "n_qubits"):
+            assert key in report.optimized_metrics

@@ -1,0 +1,72 @@
+"""Additional property tests: synthesis equivalence under random parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import cut_diagonal, erdos_renyi
+from repro.quantum import StatevectorSimulator, run_qaoa_reference
+from repro.quantum.statevector import fidelity
+from repro.synth import (
+    CombinatorialModel,
+    OptimizationTarget,
+    Preferences,
+    cancel_identities,
+    fuse_rotations,
+    synthesize,
+)
+
+angles = st.floats(-np.pi, np.pi, allow_nan=False)
+
+
+class TestSynthesisEquivalenceProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500), angles, angles)
+    def test_depth_opt_preserves_state(self, seed, gamma, beta):
+        """Edge-coloured vs naive emission: identical physical state."""
+        graph = erdos_renyi(7, 0.5, rng=seed)
+        model = CombinatorialModel.maxcut(graph, layers=1)
+        sim = StatevectorSimulator()
+        params = np.array([gamma, beta])
+        opt = synthesize(model, Preferences(optimize=OptimizationTarget.DEPTH))
+        naive = synthesize(model, Preferences(optimize=OptimizationTarget.NONE))
+        s_opt = sim.statevector(opt.circuit.bind(params))
+        s_naive = sim.statevector(naive.circuit.bind(params))
+        assert fidelity(s_opt, s_naive) == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500), angles, angles)
+    def test_all_bases_match_reference(self, seed, gamma, beta):
+        graph = erdos_renyi(6, 0.5, rng=seed)
+        model = CombinatorialModel.maxcut(graph, layers=1)
+        sim = StatevectorSimulator()
+        params = np.array([gamma, beta])
+        ref = run_qaoa_reference(
+            cut_diagonal(graph), np.array([gamma]), np.array([beta])
+        )
+        for basis in ("native", "cx"):
+            report = synthesize(model, Preferences(basis=basis))
+            state = sim.statevector(report.circuit.bind(params))
+            assert fidelity(state, ref) == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_passes_idempotent(self, seed):
+        """fuse/cancel reach a fixed point: second application is a no-op."""
+        graph = erdos_renyi(6, 0.4, rng=seed)
+        model = CombinatorialModel.maxcut(graph, layers=2)
+        report = synthesize(model)
+        once = cancel_identities(fuse_rotations(report.circuit))
+        twice = cancel_identities(fuse_rotations(once))
+        assert once.size() == twice.size()
+        assert [i.name for i in once.instructions] == [
+            i.name for i in twice.instructions
+        ]
+
+    def test_preference_none_skips_scheduling(self):
+        graph = erdos_renyi(10, 0.6, rng=3)
+        model = CombinatorialModel.maxcut(graph, layers=2)
+        none_report = synthesize(model, Preferences(optimize=OptimizationTarget.NONE))
+        depth_report = synthesize(model, Preferences(optimize=OptimizationTarget.DEPTH))
+        assert depth_report.optimized_metrics["depth"] <= none_report.optimized_metrics["depth"]
