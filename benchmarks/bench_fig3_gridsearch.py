@@ -8,15 +8,22 @@ Laptop scale sweeps N∈{12..16}; paper scale (``REPRO_PAPER_SCALE=1``) runs
 the published N∈{15..25} × p∈{0.1..0.5} × p-layers∈{3..8} ×
 rhobeg∈{0.1..0.5} sweep (hours).  EXPERIMENTS.md documents which published
 patterns are scale-dependent.
+
+``python benchmarks/bench_fig3_gridsearch.py --quick`` times the batched
+(γ, β) angle-grid sweep against the per-point loop on a 12-node graph and
+emits the comparison as JSON.
 """
 
 from __future__ import annotations
+
+import json
 
 from conftest import emit_report, paper_scale
 
 from repro.experiments import (
     GridSearchConfig,
     paper_scale_config,
+    run_angle_grid,
     run_grid_search,
 )
 from repro.hpc.executor import ExecutorConfig
@@ -55,3 +62,90 @@ def test_fig3_grid_search(once):
         + f"\nrecords: {len(result.records)}, sweep wall time: {result.elapsed:.1f}s",
     )
     assert len(result.records) > 0
+
+
+def test_fig3_angle_grid_batched_vs_loop(once):
+    """The batched (γ, β) sweep must beat the per-point loop."""
+    import numpy as np
+
+    from repro.graphs import erdos_renyi
+
+    graph = erdos_renyi(12, 0.4, weighted=True, rng=3)
+    batched, loop = once(
+        lambda: (
+            run_angle_grid(graph, resolution=24, method="batched"),
+            run_angle_grid(graph, resolution=24, method="loop"),
+        )
+    )
+    assert np.array_equal(batched.best_params, loop.best_params)
+    emit_report(
+        "fig3_angle_grid",
+        f"angle grid 24x24 on n=12: batched {batched.elapsed*1e3:.1f}ms, "
+        f"loop {loop.elapsed*1e3:.1f}ms "
+        f"(speedup {loop.elapsed / batched.elapsed:.1f}x)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSON smoke mode: python bench_fig3_gridsearch.py --quick
+# ---------------------------------------------------------------------------
+def quick_report(n_nodes: int = 12, resolution: int = 24) -> dict:
+    """Batched vs per-point-loop angle grid on one seeded graph."""
+    import numpy as np
+
+    from repro.graphs import erdos_renyi
+
+    graph = erdos_renyi(n_nodes, 0.4, weighted=True, rng=3)
+    # Warm-up evaluates both paths once (buffer pools, BLAS init).
+    run_angle_grid(graph, resolution=4, method="batched")
+    run_angle_grid(graph, resolution=4, method="loop")
+
+    def best_elapsed(method: str):
+        result = None
+        elapsed = float("inf")
+        for _ in range(3):
+            candidate = run_angle_grid(graph, resolution=resolution, method=method)
+            elapsed = min(elapsed, candidate.elapsed)
+            result = candidate
+        return result, elapsed
+
+    batched, batched_s = best_elapsed("batched")
+    loop, loop_s = best_elapsed("loop")
+    return {
+        "bench": "fig3_angle_grid_quick",
+        "n_nodes": n_nodes,
+        "grid": [resolution, resolution],
+        "single_s": loop_s,
+        "batched_s": batched_s,
+        "speedup": loop_s / batched_s,
+        "best_params_identical": bool(
+            np.array_equal(batched.best_params, loop.best_params)
+        ),
+        "best_energy": loop.best_energy,
+    }
+
+
+def main() -> None:
+    import argparse
+
+    from conftest import REPORTS_DIR
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="emit a small batched-vs-loop angle-grid timing JSON instead "
+        "of running the full Fig. 3 sweep",
+    )
+    args = parser.parse_args()
+    if not args.quick:
+        parser.error("run under pytest for the full sweep, or pass --quick")
+    report = quick_report()
+    text = json.dumps(report, indent=2)
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "fig3_angle_grid_quick.json").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,18 @@
 """Micro-benchmarks of the numerical kernels (true pytest-benchmark use).
 
 These are the hot loops the guides say to profile: statevector gate
-application, the diagonal QAOA layer, cut-diagonal construction, SDP
-sweeps and GW rounding.  Regressions here slow every experiment above.
+application, the diagonal QAOA layer (single and batched), cut-diagonal
+construction, SDP sweeps and GW rounding.  Regressions here slow every
+experiment above.
+
+``python benchmarks/bench_kernels.py --quick`` runs a JSON smoke mode
+comparing single-vs-batched QAOA evaluation without pytest-benchmark.
 """
 
 from __future__ import annotations
+
+import json
+import time
 
 import numpy as np
 import pytest
@@ -13,15 +20,19 @@ import pytest
 from repro.classical.gw import hyperplane_rounding
 from repro.classical.sdp import solve_sdp_mixing
 from repro.graphs import cut_diagonal, erdos_renyi
-from repro.qaoa import MaxCutEnergy
+from repro.qaoa import MaxCutEnergy, SweepEngine
 from repro.quantum.gates import rx
 from repro.quantum.statevector import (
     apply_one_qubit,
+    apply_phases_batch,
     apply_rx_layer,
     plus_state,
+    plus_state_batch,
+    walsh_hadamard_batch,
 )
 
 N_QUBITS = 16
+BATCH = 32
 
 
 @pytest.fixture(scope="module")
@@ -59,6 +70,35 @@ def test_kernel_qaoa_expectation(benchmark, graph):
     assert 0 <= result <= graph.total_weight
 
 
+def test_kernel_rx_layer_batched(benchmark):
+    # Batched mixer over a (BATCH, 2^12) block with per-row angles.
+    states = plus_state_batch(12, BATCH)
+    betas = np.linspace(0.1, 1.0, BATCH)
+    benchmark(lambda: apply_rx_layer(states, betas))
+
+
+def test_kernel_phases_batched(benchmark, graph):
+    diag = cut_diagonal(erdos_renyi(12, 0.3, rng=0))
+    states = plus_state_batch(12, BATCH)
+    scratch = np.empty_like(states)
+    gammas = np.linspace(0.1, 1.0, BATCH)
+    benchmark(lambda: apply_phases_batch(states, diag, gammas, scratch=scratch))
+
+
+def test_kernel_walsh_hadamard_batched(benchmark):
+    states = plus_state_batch(12, BATCH)
+    scratch = np.empty_like(states)
+    benchmark(lambda: walsh_hadamard_batch(states, scratch=scratch))
+
+
+def test_kernel_qaoa_energies_batch(benchmark):
+    graph = erdos_renyi(12, 0.3, rng=0)
+    engine = SweepEngine(graph)
+    params = np.random.default_rng(0).uniform(-np.pi, np.pi, size=(BATCH, 4))
+    result = benchmark(engine.energies, params)
+    assert result.shape == (BATCH,)
+
+
 def test_kernel_sdp_mixing(benchmark):
     graph = erdos_renyi(200, 0.1, rng=1)
     result = benchmark.pedantic(
@@ -71,3 +111,66 @@ def test_kernel_gw_rounding(benchmark):
     graph = erdos_renyi(200, 0.1, rng=1)
     sdp = solve_sdp_mixing(graph, rng=0)
     benchmark(hyperplane_rounding, sdp.vectors, 0)
+
+
+# ---------------------------------------------------------------------------
+# JSON smoke mode (no pytest-benchmark): python bench_kernels.py --quick
+# ---------------------------------------------------------------------------
+def _best_of(fn, repeats: int = 3) -> float:
+    fn()  # warm-up (allocations, caches)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def quick_report(n_qubits: int = 10, batch: int = 64, layers: int = 2) -> dict:
+    """Single-vs-batched QAOA evaluation timing on one seeded graph."""
+    graph = erdos_renyi(n_qubits, 0.4, weighted=True, rng=0)
+    energy = MaxCutEnergy(graph)
+    engine = SweepEngine(graph)
+    params = np.random.default_rng(1).uniform(
+        -np.pi, np.pi, size=(batch, 2 * layers)
+    )
+    single_s = _best_of(lambda: [energy.expectation(row) for row in params])
+    batched_s = _best_of(lambda: engine.energies(params))
+    single_vals = np.array([energy.expectation(row) for row in params])
+    max_dev = float(np.abs(engine.energies(params) - single_vals).max())
+    return {
+        "bench": "kernels_quick",
+        "n_qubits": n_qubits,
+        "batch": batch,
+        "layers": layers,
+        "single_s": single_s,
+        "batched_s": batched_s,
+        "speedup": single_s / batched_s,
+        "max_abs_deviation": max_dev,
+    }
+
+
+def main() -> None:
+    import argparse
+
+    from conftest import REPORTS_DIR
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="emit a small single-vs-batched timing JSON instead of "
+        "running pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.quick:
+        parser.error("run under pytest for full benchmarks, or pass --quick")
+    report = quick_report()
+    text = json.dumps(report, indent=2)
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "bench_kernels_quick.json").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,10 +10,13 @@ from repro.experiments.compare import (
     rank_correlation,
 )
 from repro.experiments.gridsearch import (
+    AngleGridResult,
     GridSearchConfig,
     GridSearchResult,
+    default_angle_axes,
     laptop_scale_config,
     paper_scale_config,
+    run_angle_grid,
     run_grid_search,
 )
 from repro.experiments.report import (
@@ -43,10 +46,13 @@ from repro.experiments.workflow import (
 )
 
 __all__ = [
+    "AngleGridResult",
     "GridSearchConfig",
     "GridSearchResult",
+    "default_angle_axes",
     "laptop_scale_config",
     "paper_scale_config",
+    "run_angle_grid",
     "run_grid_search",
     "Table1Config",
     "Table1Result",

@@ -28,8 +28,11 @@ import numpy as np
 
 from repro.classical.gw import goemans_williamson
 from repro.graphs.generators import erdos_renyi
+from repro.graphs.graph import Graph
 from repro.hpc.executor import ExecutorConfig, map_jobs
 from repro.ml.knowledge import GridRecord, KnowledgeBase
+from repro.qaoa.energy import MaxCutEnergy
+from repro.qaoa.engine import DEFAULT_CHUNK_SIZE, SweepEngine
 from repro.qaoa.params import default_iterations
 from repro.qaoa.solver import QAOASolver
 from repro.util.rng import RngLike, ensure_rng
@@ -246,6 +249,102 @@ class GridSearchResult:
         return "\n\n".join(blocks)
 
 
+# ---------------------------------------------------------------------------
+# The (γ, β) angle-grid sweep (p=1 energy landscape)
+# ---------------------------------------------------------------------------
+@dataclass
+class AngleGridResult:
+    """A full p=1 (γ, β) energy landscape over one graph.
+
+    ``energies[i, j] = F_1(γ=gammas[i], β=betas[j])``; the best point is the
+    flat-argmax (first occurrence), so loop and batched evaluations of the
+    same grid resolve ties identically.
+    """
+
+    gammas: np.ndarray
+    betas: np.ndarray
+    energies: np.ndarray
+    elapsed: float = 0.0
+    method: str = "batched"
+
+    @property
+    def best_index(self) -> Tuple[int, int]:
+        flat = int(np.argmax(self.energies))
+        return flat // len(self.betas), flat % len(self.betas)
+
+    @property
+    def best_energy(self) -> float:
+        i, j = self.best_index
+        return float(self.energies[i, j])
+
+    @property
+    def best_params(self) -> np.ndarray:
+        """Winning ``[γ, β]`` vector (the repo's gammas-first packing)."""
+        i, j = self.best_index
+        return np.array([self.gammas[i], self.betas[j]], dtype=np.float64)
+
+
+def default_angle_axes(resolution: int = 24) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard landscape axes: γ ∈ [0, π), β ∈ [0, π/2).
+
+    Both unitaries are periodic over these ranges for integer-weight graphs,
+    so the open intervals cover the landscape without duplicating the
+    endpoint column/row.
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+    gammas = np.linspace(0.0, np.pi, resolution, endpoint=False)
+    betas = np.linspace(0.0, np.pi / 2, resolution, endpoint=False)
+    return gammas, betas
+
+
+def run_angle_grid(
+    graph: Graph,
+    gammas: Optional[np.ndarray] = None,
+    betas: Optional[np.ndarray] = None,
+    *,
+    resolution: int = 24,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    engine: Optional[SweepEngine] = None,
+    method: str = "batched",
+) -> AngleGridResult:
+    """Evaluate the p=1 QAOA energy over a full (γ, β) grid.
+
+    ``method="batched"`` (default) flattens the grid into one chunked batch
+    on a :class:`~repro.qaoa.engine.SweepEngine`.  ``method="loop"`` is the
+    original per-point double Python loop over
+    :meth:`~repro.qaoa.energy.MaxCutEnergy.expectation`, kept as the
+    cross-validation reference and benchmark baseline.
+    """
+    if gammas is None or betas is None:
+        default_g, default_b = default_angle_axes(resolution)
+        gammas = default_g if gammas is None else gammas
+        betas = default_b if betas is None else betas
+    gammas = np.asarray(gammas, dtype=np.float64)
+    betas = np.asarray(betas, dtype=np.float64)
+    if engine is not None and engine.graph is not graph:
+        raise ValueError("engine was built for a different graph")
+    start = time.perf_counter()
+    if method == "batched":
+        engine = engine or SweepEngine(graph, chunk_size=chunk_size)
+        energies = engine.angle_grid(gammas, betas)
+    elif method == "loop":
+        energy = MaxCutEnergy(graph)
+        energies = np.empty((len(gammas), len(betas)), dtype=np.float64)
+        for i, gamma in enumerate(gammas):
+            for j, beta in enumerate(betas):
+                energies[i, j] = energy.expectation(np.array([gamma, beta]))
+    else:
+        raise ValueError(f"unknown angle-grid method {method!r}")
+    return AngleGridResult(
+        gammas=gammas,
+        betas=betas,
+        energies=energies,
+        elapsed=time.perf_counter() - start,
+        method=method,
+    )
+
+
 def run_grid_search(config: Optional[GridSearchConfig] = None) -> GridSearchResult:
     """Execute the sweep (cells fan out over the configured executor)."""
     config = config or GridSearchConfig()
@@ -281,9 +380,12 @@ def run_grid_search(config: Optional[GridSearchConfig] = None) -> GridSearchResu
 
 
 __all__ = [
+    "AngleGridResult",
     "GridSearchConfig",
     "GridSearchResult",
+    "default_angle_axes",
     "laptop_scale_config",
     "paper_scale_config",
+    "run_angle_grid",
     "run_grid_search",
 ]

@@ -26,17 +26,28 @@ def minimize(
     rhobeg: float = 0.5,
     maxiter: int = 100,
     rng: RngLike = None,
+    batch_fun: Callable[[np.ndarray], np.ndarray] | None = None,
 ) -> OptimizationResult:
     """Minimize ``fun`` starting at ``x0`` with the named backend.
 
     ``rhobeg`` maps to the analogous initial-step parameter of each backend
     so the paper's grid axis is meaningful for every optimizer.
+    ``batch_fun`` (a ``(B, d) -> (B,)`` vectorised objective) is consumed by
+    backends that can evaluate several points per step — currently SPSA's
+    ± perturbation pair — and ignored by the sequential ones.
     """
     method = method.lower()
     if method == "cobyla":
         return minimize_cobyla(fun, x0, rhobeg=rhobeg, maxiter=maxiter)
     if method == "spsa":
-        return minimize_spsa(fun, x0, maxiter=maxiter, c=max(0.02, rhobeg / 5), rng=rng)
+        return minimize_spsa(
+            fun,
+            x0,
+            maxiter=maxiter,
+            c=max(0.02, rhobeg / 5),
+            rng=rng,
+            batch_fun=batch_fun,
+        )
     if method in ("nelder-mead", "nelder_mead", "nm"):
         return minimize_nelder_mead(fun, x0, maxiter=maxiter, initial_step=rhobeg)
     raise ValueError(f"unknown optimizer {method!r}")

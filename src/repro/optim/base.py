@@ -41,6 +41,12 @@ class RecordingObjective:
 
     def __call__(self, x: np.ndarray) -> float:
         value = float(self._fun(np.asarray(x, dtype=np.float64)))
+        return self.record(x, value)
+
+    def record(self, x: np.ndarray, value: float) -> float:
+        """Book-keep an evaluation computed out-of-band (e.g. one row of a
+        batched objective call) exactly like a direct ``__call__``."""
+        value = float(value)
         self.nfev += 1
         self.history.append(value)
         if value < self.best_f:

@@ -1,7 +1,8 @@
-"""QAOA core: fast energy evaluation, parameter strategies, the solver and
-the recursive-QAOA extension."""
+"""QAOA core: fast energy evaluation, the batched sweep engine, parameter
+strategies, the solver and the recursive-QAOA extension."""
 
 from repro.qaoa.energy import MaxCutEnergy
+from repro.qaoa.engine import ScratchPool, SweepEngine, shared_pool
 from repro.qaoa.params import (
     default_iterations,
     fixed_init,
@@ -15,6 +16,9 @@ from repro.qaoa.solver import QAOAResult, QAOASolver, solve_maxcut_qaoa
 
 __all__ = [
     "MaxCutEnergy",
+    "ScratchPool",
+    "SweepEngine",
+    "shared_pool",
     "QAOAResult",
     "QAOASolver",
     "solve_maxcut_qaoa",

@@ -32,12 +32,18 @@ class MaxCutEnergy:
     :func:`repro.synth.synthesis.qaoa_ansatz`.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, *, diagonal: Optional[np.ndarray] = None) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")
         self.graph = graph
         self.n_qubits = graph.n_nodes
-        self.diagonal = cut_diagonal(graph)
+        # ``diagonal`` lets a caller that already built the cut diagonal
+        # (e.g. a SweepEngine solving the same graph repeatedly) share it —
+        # constructing it is the dominant per-solve setup cost.
+        self.diagonal = diagonal if diagonal is not None else cut_diagonal(graph)
+        if self.diagonal.shape != (1 << self.n_qubits,):
+            raise ValueError("diagonal length does not match the graph")
+        self._engine = None  # lazy SweepEngine for the batch path
 
     # ------------------------------------------------------------------
     def split_params(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -74,6 +80,39 @@ class MaxCutEnergy:
 
     def expectation_from_state(self, state: np.ndarray) -> float:
         return float(np.dot(probabilities(state), self.diagonal))
+
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Back the batch path with a caller-provided SweepEngine (so its
+        chunk_size/pool configuration is honoured, not just its diagonal)."""
+        if engine.graph is not self.graph:
+            raise ValueError("engine was built for a different graph")
+        self._engine = engine
+
+    def engine(self, **engine_kwargs) -> "SweepEngine":
+        """The batched evaluator for this graph (built lazily, shares the
+        cached diagonal).  See :class:`repro.qaoa.engine.SweepEngine`."""
+        from repro.qaoa.engine import SweepEngine
+
+        if self._engine is None or engine_kwargs:
+            engine = SweepEngine(self.graph, diagonal=self.diagonal, **engine_kwargs)
+            if engine_kwargs:
+                return engine
+            self._engine = engine
+        return self._engine
+
+    def energies_batch(self, params_matrix: np.ndarray) -> np.ndarray:
+        """F_p for every row of a ``(B, 2p)`` parameter matrix at once.
+
+        Delegates to the chunked :class:`~repro.qaoa.engine.SweepEngine`;
+        agrees elementwise with :meth:`expectation` per row (property-tested
+        in ``tests/test_batched_statevector.py``).
+        """
+        return self.engine().energies(params_matrix)
+
+    def statevectors_batch(self, params_matrix: np.ndarray) -> np.ndarray:
+        """|ψ_p⟩ for every row of a ``(B, 2p)`` parameter matrix."""
+        return self.engine().statevectors(params_matrix)
 
     # ------------------------------------------------------------------
     def max_cut_upper_bound(self) -> float:

@@ -1,0 +1,326 @@
+"""Batched QAOA evaluation engine for parameter sweeps.
+
+Every experiment in the paper — the Fig. 3 grid search, the Table 1 runs,
+the QAOA² sub-graph solves of §3.3 — evaluates the QAOA energy at *many*
+parameter vectors over the *same* graph.  The per-vector path
+(:class:`repro.qaoa.energy.MaxCutEnergy`) pays full Python dispatch per
+evaluation; this module amortises it by evolving a whole batch of
+statevectors at once.
+
+Batching layout
+---------------
+A batch of ``B`` parameter vectors (rows of a ``(B, 2p)`` matrix, packed
+``[γ_1..γ_p, β_1..β_p]`` like everywhere else in the repo) is simulated as
+a single ``(B, 2**n)`` complex128 array: batch index leading, basis index
+trailing.  Each QAOA layer is then
+
+* one batched diagonal phase multiply
+  (:func:`repro.quantum.statevector.apply_phases_batch`) with per-row γ,
+* one batched mixer pass (:func:`repro.quantum.statevector.apply_rx_layer`
+  with a ``(B,)`` β column),
+
+so the Python interpreter runs ``O(p · n)`` ops per *batch* instead of per
+*vector*, and every op streams contiguous memory.
+
+Memory model
+------------
+Peak working set is two ``(chunk_size, 2**n)`` complex buffers (states +
+phase scratch) ≈ ``32 · chunk_size · 2**n`` bytes, regardless of how many
+parameter vectors are requested: ``energies()`` walks the batch in
+``chunk_size`` slices.  The default chunk (64) keeps a 20-qubit sweep
+under ~2 GiB while still saturating the vectorised kernels for the small
+sub-graphs QAOA² produces.  Buffers live in a process-wide pool keyed by
+shape, so repeated engines over equal-sized graphs (the QAOA² partition
+loop) reuse the same allocations.
+
+Follow-on consumers (see ROADMAP.md open items): the scaling study
+(``experiments/scaling.py``) and RQAOA's correlation sweeps
+(``qaoa/rqaoa.py``) still evaluate point-by-point.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import cut_diagonal
+from repro.quantum.statevector import (
+    apply_phases_batch,
+    apply_rx_layer,
+    expectation_diagonal_batch,
+    plus_state_batch,
+    walsh_hadamard_batch,
+)
+
+DEFAULT_CHUNK_SIZE = 64
+# Cap on the spectral angle-grid path's per-chunk working set (two
+# (rows, 2**n) complex buffers: transformed states + WHT scratch).
+SPECTRAL_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def spectral_row_bytes(n_qubits: int) -> int:
+    """Spectral-path working set per γ row: a 2**n complex statevector,
+    counted twice (transformed state + ping-pong scratch)."""
+    return 2 * (1 << n_qubits) * 16
+
+
+class ScratchPool:
+    """Reusable complex128 work buffers keyed by (tag, shape).
+
+    A batched evaluation needs two ``(chunk, 2**n)`` arrays per pass; the
+    pool hands back the same allocation for the same shape so a QAOA² run
+    solving dozens of equal-sized partitions never reallocates.  Storage is
+    thread-local: the ``hpc.executor`` thread backend runs sub-graph jobs
+    concurrently, and each worker thread must not scribble over another's
+    in-flight states.  Reuse therefore happens per worker, which is exactly
+    the repeated-solve case; ``n_buffers``/``nbytes`` report the calling
+    thread's view.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _buffers(self) -> Dict[Tuple[str, Tuple[int, ...]], np.ndarray]:
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = {}
+            self._local.buffers = buffers
+        return buffers
+
+    def take(self, tag: str, shape: Tuple[int, ...]) -> np.ndarray:
+        buffers = self._buffers()
+        key = (tag, tuple(shape))
+        buf = buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.complex128)
+            buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers().clear()
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers())
+
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._buffers().values())
+
+
+_SHARED_POOL = ScratchPool()
+
+
+def shared_pool() -> ScratchPool:
+    """The process-wide buffer pool used by engines unless told otherwise."""
+    return _SHARED_POOL
+
+
+class SweepEngine:
+    """Evaluates QAOA energies/states for batches of parameter vectors.
+
+    Caches the graph's cut diagonal once (the dominant setup cost for
+    repeated solves) and bounds peak memory with ``chunk_size`` — see the
+    module docstring for the layout and memory model.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        diagonal: Optional[np.ndarray] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        pool: Optional[ScratchPool] = None,
+    ) -> None:
+        if graph.n_nodes < 1:
+            raise ValueError("graph must have at least one node")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.graph = graph
+        self.n_qubits = graph.n_nodes
+        self.diagonal = diagonal if diagonal is not None else cut_diagonal(graph)
+        if self.diagonal.shape != (1 << self.n_qubits,):
+            raise ValueError("diagonal length does not match the graph")
+        self.chunk_size = chunk_size
+        self.pool = pool if pool is not None else _SHARED_POOL
+
+    # ------------------------------------------------------------------
+    def _params_matrix(self, params_matrix: np.ndarray) -> np.ndarray:
+        mat = np.asarray(params_matrix, dtype=np.float64)
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        if mat.ndim != 2:
+            raise ValueError(f"expected (B, 2p) matrix, got ndim={mat.ndim}")
+        if mat.shape[1] == 0 or mat.shape[1] % 2 != 0:
+            raise ValueError(
+                "parameter rows must have even positive length (γs then βs)"
+            )
+        return mat
+
+    def _evolve_chunk(self, mat: np.ndarray) -> np.ndarray:
+        """Evolve one chunk of parameter rows; returns the pooled state
+        buffer (valid until the next engine call on the same pool)."""
+        m = mat.shape[0]
+        p = mat.shape[1] // 2
+        dim = 1 << self.n_qubits
+        states = plus_state_batch(
+            self.n_qubits, m, out=self.pool.take("states", (m, dim))
+        )
+        scratch = self.pool.take("phases", (m, dim))
+        for layer in range(p):
+            apply_phases_batch(
+                states, self.diagonal, mat[:, layer], scratch=scratch
+            )
+            # The phase scratch doubles as the mixer's ping-pong buffer.
+            apply_rx_layer(states, mat[:, p + layer], scratch=scratch)
+        return states
+
+    # ------------------------------------------------------------------
+    def energies(self, params_matrix: np.ndarray) -> np.ndarray:
+        """F_p(β, γ) for every row of ``params_matrix``; returns ``(B,)``.
+
+        The batch is processed in ``chunk_size`` slices so memory stays
+        bounded for arbitrarily large sweeps.
+        """
+        mat = self._params_matrix(params_matrix)
+        out = np.empty(mat.shape[0], dtype=np.float64)
+        for start in range(0, mat.shape[0], self.chunk_size):
+            stop = min(start + self.chunk_size, mat.shape[0])
+            states = self._evolve_chunk(mat[start:stop])
+            out[start:stop] = expectation_diagonal_batch(states, self.diagonal)
+        return out
+
+    def energy(self, params: np.ndarray) -> float:
+        """Single-vector convenience wrapper over :meth:`energies`."""
+        return float(self.energies(np.asarray(params))[0])
+
+    def statevectors(self, params_matrix: np.ndarray) -> np.ndarray:
+        """|ψ_p⟩ for every row, as a freshly-allocated ``(B, 2**n)`` array.
+
+        Unlike :meth:`energies` this materialises the full batch of states
+        (it copies each chunk out of the pooled buffer), so it is meant for
+        validation and small batches, not huge sweeps.
+        """
+        mat = self._params_matrix(params_matrix)
+        out = np.empty((mat.shape[0], 1 << self.n_qubits), dtype=np.complex128)
+        for start in range(0, mat.shape[0], self.chunk_size):
+            stop = min(start + self.chunk_size, mat.shape[0])
+            out[start:stop] = self._evolve_chunk(mat[start:stop])
+        return out
+
+    # ------------------------------------------------------------------
+    def angle_grid(self, gammas: np.ndarray, betas: np.ndarray) -> np.ndarray:
+        """p=1 energy landscape: ``out[i, j] = F_1(γ=gammas[i], β=betas[j])``.
+
+        This is the (γ, β) grid of the paper's landscape-style sweeps.
+        Where memory allows, the grid is evaluated in the mixer eigenbasis
+        (:meth:`_angle_grid_spectral`): one Walsh–Hadamard transform per γ
+        chunk plus a few masked dot products per edge, after which the
+        whole β axis is closed-form — the mixer is never applied per grid
+        point.  Otherwise the grid is flattened into one chunked generic
+        batch.  Both paths agree with the per-point loop to ~1e-13.
+        """
+        gammas = np.asarray(gammas, dtype=np.float64)
+        betas = np.asarray(betas, dtype=np.float64)
+        if gammas.ndim != 1 or betas.ndim != 1:
+            raise ValueError("gammas and betas must be 1-D angle grids")
+        if len(gammas) == 0 or len(betas) == 0:
+            return np.zeros((len(gammas), len(betas)), dtype=np.float64)
+        if spectral_row_bytes(self.n_qubits) <= SPECTRAL_BUDGET_BYTES:
+            return self._angle_grid_spectral(gammas, betas)
+        gg, bb = np.meshgrid(gammas, betas, indexing="ij")
+        mat = np.column_stack([gg.ravel(), bb.ravel()])
+        return self.energies(mat).reshape(len(gammas), len(betas))
+
+    def _angle_grid_spectral(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> np.ndarray:
+        """Mixer-eigenbasis grid evaluation.
+
+        With ``|ψ(γ,β)⟩ = U_B(β) |φ_γ⟩`` and
+        ``U_B = H^{⊗n} e^{-iβ ΣZ} H^{⊗n}``, each edge observable conjugates
+        to ``H Z_a Z_b H = X_a X_b`` — a two-axis bit flip on the
+        transformed state ``u_γ = H^{⊗n} φ_γ``.  Splitting the matrix
+        element by the flipped bits, the β dependence collapses to a single
+        harmonic:
+
+            F(γ, β) = W/2 − Q(γ)/2 − Re[P(γ) · e^{4iβ}]
+
+        where, over edges (a, b, w) with flip bijections between the
+        bit-sectors of (x_a, x_b),
+
+            P(γ) = Σ_e w_e Σ_{x_a=x_b=0} ū(x) u(x ⊕ m_e)
+            Q(γ) = Σ_e w_e · 2 Re Σ_{x_a=0, x_b=1} ū(x) u(x ⊕ m_e).
+
+        Cost per γ chunk: one WHT plus O(E) masked dot products; every β
+        column is then O(1) per grid point.  (This is the same collapse
+        that gives the classical p=1 MaxCut formula its cos(4β) harmonic.)
+        """
+        n = self.n_qubits
+        dim = 1 << n
+        total_weight = float(np.sum(self.graph.w)) if self.graph.n_edges else 0.0
+        e4 = np.exp(4j * betas)
+        out = np.empty((len(gammas), len(betas)), dtype=np.float64)
+        rows = max(
+            1,
+            min(
+                self.chunk_size,
+                SPECTRAL_BUDGET_BYTES // spectral_row_bytes(n),
+            ),
+        )
+        for start in range(0, len(gammas), rows):
+            stop = min(start + rows, len(gammas))
+            m = stop - start
+            states = plus_state_batch(n, m, out=self.pool.take("states", (m, dim)))
+            scratch = self.pool.take("phases", (m, dim))
+            apply_phases_batch(
+                states, self.diagonal, gammas[start:stop], scratch=scratch
+            )
+            walsh_hadamard_batch(states, scratch=scratch)
+            # Axis layout: axis 1 + (n-1-q) of the (m, 2, ..., 2) view is
+            # qubit q (little-endian index convention).
+            view = states.reshape((m,) + (2,) * n)
+            harmonic = np.zeros(m, dtype=np.complex128)  # P
+            constant = np.zeros(m, dtype=np.float64)  # Q
+            for a, b, weight in zip(self.graph.u, self.graph.v, self.graph.w):
+                ax_a = 1 + (n - 1 - int(a))
+                ax_b = 1 + (n - 1 - int(b))
+
+                def sector(bit_a: int, bit_b: int) -> np.ndarray:
+                    idx = [slice(None)] * (n + 1)
+                    idx[ax_a] = bit_a
+                    idx[ax_b] = bit_b
+                    return view[tuple(idx)]
+
+                both_zero = (
+                    (np.conj(sector(0, 0)) * sector(1, 1))
+                    .reshape(m, -1)
+                    .sum(axis=1)
+                )
+                mixed = (
+                    (np.conj(sector(0, 1)) * sector(1, 0))
+                    .reshape(m, -1)
+                    .sum(axis=1)
+                )
+                harmonic += weight * both_zero
+                constant += weight * 2.0 * np.real(mixed)
+            # u is the unnormalised WHT (factor √dim per appearance; it
+            # appears twice in each sector product).
+            harmonic /= dim
+            constant /= dim
+            out[start:stop] = (
+                total_weight / 2.0
+                - constant[:, None] / 2.0
+                - np.real(np.multiply.outer(harmonic, e4))
+            )
+        return out
+
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ScratchPool",
+    "SweepEngine",
+    "shared_pool",
+]

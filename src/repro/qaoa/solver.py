@@ -73,6 +73,12 @@ class QAOASolver:
         objective becomes the trajectory-averaged noisy ⟨H_C⟩ (NISQ
         rehearsal mode).  Solution selection still reads the noiseless
         final state, modelling error-free readout of the trained angles.
+    engine:
+        Optional pre-built :class:`repro.qaoa.engine.SweepEngine` for the
+        graph being solved.  Shares its cached cut diagonal (skipping the
+        dominant per-solve setup cost for repeated solves on one graph,
+        e.g. a QAOA² sub-graph option grid) and backs the batched
+        statevector objective.  Ignored if built for a different graph.
     """
 
     layers: int = 3
@@ -87,6 +93,7 @@ class QAOASolver:
     warm_start: Optional[np.ndarray] = None
     noise: Optional[object] = None  # repro.quantum.noise.NoiseModel
     noise_trajectories: int = 8
+    engine: Optional[object] = None  # repro.qaoa.engine.SweepEngine
     rng: RngLike = None
     max_qubits: int = 26
 
@@ -97,7 +104,11 @@ class QAOASolver:
                 "partition it first (QAOA²) or raise the cap"
             )
         gen = ensure_rng(self.rng)
-        energy = MaxCutEnergy(graph)
+        if self.engine is not None and self.engine.graph is graph:
+            energy = MaxCutEnergy(graph, diagonal=self.engine.diagonal)
+            energy.attach_engine(self.engine)
+        else:
+            energy = MaxCutEnergy(graph)
         if graph.n_edges == 0:
             assignment = np.zeros(graph.n_nodes, dtype=np.uint8)
             return QAOAResult(
@@ -110,6 +121,7 @@ class QAOASolver:
             self.layers, self.init, rng=gen, warm_start=self.warm_start
         )
 
+        neg_fp_batch = None
         if self.noise is not None and not self.noise.is_trivial():
             from repro.quantum.noise import noisy_expectation
 
@@ -121,6 +133,12 @@ class QAOASolver:
         elif self.objective == "statevector":
             def neg_fp(params: np.ndarray) -> float:
                 return -energy.expectation(params)
+
+            # Exact objectives can be evaluated in batch (SPSA's ± pair);
+            # shot-sampled and noisy objectives stay per-point because each
+            # evaluation consumes generator state.
+            def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+                return -energy.energies_batch(params_matrix)
         elif self.objective == "sampled":
             def neg_fp(params: np.ndarray) -> float:
                 return -energy.sampled_expectation(params, self.shots, rng=gen)
@@ -134,6 +152,7 @@ class QAOASolver:
             rhobeg=self.rhobeg,
             maxiter=maxiter,
             rng=gen,
+            batch_fun=neg_fp_batch,
         )
         state = energy.statevector(opt.x)
         assignment, cut, selection_info = self._select(graph, energy, state, gen)

@@ -32,6 +32,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.maxcut import CutResult, cut_value
 from repro.graphs.partition import partition_with_cap
 from repro.hpc.executor import ExecutorConfig, map_jobs
+from repro.qaoa.engine import SweepEngine
 from repro.qaoa.solver import QAOASolver
 from repro.qaoa2.merge import (
     apply_flips,
@@ -111,11 +112,16 @@ def _solve_subgraph_job(payload: dict) -> dict:
     out: dict = {"method": method, "qaoa_cut": None, "gw_cut": None, "gw_average": None}
 
     def run_qaoa() -> CutResult:
+        # One engine per sub-graph: the cut diagonal is built once and every
+        # config in the option grid (and every optimizer iteration) reuses
+        # it; the engine's pooled buffers are additionally shared across
+        # equal-sized partitions solved by the same worker.
+        engine = SweepEngine(graph)
         configs = qaoa_grid if qaoa_grid else [{}]
         best: Optional[CutResult] = None
         for offset, overrides in enumerate(configs):
             options = {**qaoa_options, **overrides}
-            solver = QAOASolver(rng=seed + offset, **options)
+            solver = QAOASolver(rng=seed + offset, engine=engine, **options)
             result = solver.solve(graph).as_cut_result()
             if best is None or result.cut > best.cut:
                 best = result

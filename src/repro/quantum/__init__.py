@@ -24,11 +24,15 @@ from repro.quantum.statevector import (
     apply_diagonal,
     apply_gate,
     apply_one_qubit,
+    apply_phases_batch,
     apply_rx_layer,
     basis_state,
     expectation_diagonal,
+    expectation_diagonal_batch,
     fidelity,
+    n_qubits_for_dim,
     plus_state,
+    plus_state_batch,
     probabilities,
     sample_counts,
     top_amplitudes,
@@ -52,17 +56,21 @@ __all__ = [
     "CommStats",
     "DistributedStatevector",
     "MachineModel",
+    "n_qubits_for_dim",
     "zero_state",
     "plus_state",
+    "plus_state_batch",
     "basis_state",
     "apply_gate",
     "apply_one_qubit",
     "apply_diagonal",
+    "apply_phases_batch",
     "apply_rx_layer",
     "probabilities",
     "sample_counts",
     "top_amplitudes",
     "expectation_diagonal",
+    "expectation_diagonal_batch",
     "fidelity",
     "DepolarizingChannel",
     "DephasingChannel",

@@ -66,6 +66,7 @@ class TestCompareFig3:
             )
         )
 
+    @pytest.mark.slow
     def test_laptop_tier_shape_only(self):
         result = self.make_grid_result()
         comparison = compare_fig3(result, weighted=False)

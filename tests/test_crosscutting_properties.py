@@ -28,6 +28,7 @@ from repro.qaoa import QAOASolver, rqaoa_solve
 from repro.quantum import IsingHamiltonian
 
 
+@pytest.mark.slow
 @settings(max_examples=8, deadline=None)
 @given(st.integers(0, 10_000), st.sampled_from([0.2, 0.4, 0.6]))
 def test_solver_inequality_chain(seed, p_edge):

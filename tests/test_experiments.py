@@ -85,6 +85,7 @@ class TestGridSearch:
         assert cfg.layers_grid == (3, 4, 5, 6, 7, 8)
         assert cfg.rhobeg_grid == (0.1, 0.2, 0.3, 0.4, 0.5)
 
+    @pytest.mark.slow
     def test_deterministic_given_seed(self):
         a = run_grid_search(TINY_GRID)
         b = run_grid_search(TINY_GRID)

@@ -20,6 +20,7 @@ from repro.qaoa2 import KnowledgeBasePolicy
 class TestPaperPipeline:
     """End-to-end flows mirroring the paper's §4 methodology."""
 
+    @pytest.mark.slow
     def test_grid_search_feeds_knowledge_base_feeds_qaoa2(self):
         """Fig. 3 -> knowledge base -> §3.6 run-time selection."""
         grid = run_grid_search(
@@ -43,6 +44,7 @@ class TestPaperPipeline:
         assert result.cut == pytest.approx(cut_value(graph, result.assignment))
         assert result.cut > graph.total_weight / 2
 
+    @pytest.mark.slow
     def test_grid_search_trains_classifier(self):
         """The Moussa et al. flow: grid-search outcomes -> learned selector."""
         grid = run_grid_search(

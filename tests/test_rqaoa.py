@@ -53,6 +53,7 @@ class TestRQAOA:
         result = rqaoa_solve(g, n_cutoff=5, solver=solver, rng=0)
         assert result.cut >= 0
 
+    @pytest.mark.slow
     def test_competitive_with_plain_qaoa(self):
         # On several seeds, RQAOA should on average not lose badly to QAOA.
         wins = 0

@@ -85,6 +85,22 @@ class TestApplyGate:
         with pytest.raises(ValueError, match="out of range"):
             apply_gate(zero_state(2), H, [2])
 
+    def test_non_power_of_two_state_rejected(self):
+        # int(log2(len)) silently truncated before; malformed states must
+        # fail loudly instead of corrupting the result.
+        for bad_len in (3, 5, 6, 12):
+            state = np.ones(bad_len, dtype=np.complex128)
+            with pytest.raises(ValueError, match="power of 2"):
+                apply_gate(state, X, [0])
+            with pytest.raises(ValueError, match="power of 2"):
+                apply_one_qubit(state, X, 0)
+            with pytest.raises(ValueError, match="power of 2"):
+                apply_rx_layer(state, 0.3)
+
+    def test_empty_state_rejected(self):
+        with pytest.raises(ValueError, match="power of 2"):
+            apply_gate(np.zeros(0, dtype=np.complex128), X, [0])
+
     @settings(max_examples=25, deadline=None)
     @given(angles, st.integers(0, 3))
     def test_norm_preserved_single_qubit(self, theta, q):
