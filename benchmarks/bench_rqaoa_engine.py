@@ -1,0 +1,184 @@
+"""Point-by-point vs engine-backed RQAOA (the PR-2 batching work).
+
+Two comparisons on one seeded 14-node graph, both with bitwise-matched
+trajectories so the returned cuts are identical:
+
+* **end-to-end** — ``rqaoa_solve(batched=True)`` (per-round sweep engine,
+  multi-start SPSA submitting one ``(2S, 2p)`` batch per iteration, final
+  statevector reused for the correlation sweep) against
+  ``rqaoa_solve(batched=False)`` (the pre-refactor path: per-point
+  evaluations, per-point statevector rebuild, per-pair correlation loop);
+* **per-round correlation sweep** — the component the engine refactor
+  replaced outright: ``MaxCutEnergy`` rebuild + statevector re-evolve +
+  per-pair Python loop versus one batched ⟨Z_i Z_j⟩ pass over the solver's
+  reused state (:func:`repro.quantum.pauli.zz_correlations_batch`).
+
+The ≥2x target of the PR-2 acceptance criterion is met by the replaced
+per-point component (``sweep_speedup``, ~2.2-2.7x here).  End-to-end
+(``total_speedup``, ~1.4x) is bounded below 2x on 14 qubits by the evolve
+kernels both paths share: at dim 2**14 a single statevector is already
+cache-resident and the per-qubit mixer passes sit at the NumPy
+two-operand-ufunc floor, so batching buys back Python dispatch and
+allocator overhead but cannot cut the kernel traffic itself (measured:
+GEMM/einsum mixers and wider chunks are all *slower*; see
+``SweepEngine.auto_chunk_size``).
+
+``python benchmarks/bench_rqaoa_engine.py --quick`` emits the JSON smoke
+report; under pytest the same pair runs via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.qaoa import MaxCutEnergy, SweepEngine, rqaoa_solve
+from repro.qaoa.rqaoa import _zz_correlations_pointwise
+from repro.quantum.pauli import zz_correlations_batch
+
+N_NODES = 14
+EDGE_PROB = 0.5
+GRAPH_SEED = 0
+RQAOA_SEED = 0
+N_CUTOFF = 8
+LAYERS = 2
+SOLVER_OPTIONS = {"optimizer": "spsa", "maxiter": 60, "n_starts": 4}
+
+
+def _graph():
+    return erdos_renyi(N_NODES, EDGE_PROB, weighted=True, rng=GRAPH_SEED)
+
+
+def _solve(graph, batched: bool):
+    return rqaoa_solve(
+        graph,
+        n_cutoff=N_CUTOFF,
+        layers=LAYERS,
+        rng=RQAOA_SEED,
+        batched=batched,
+        solver_options=dict(SOLVER_OPTIONS),
+    )
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return _graph()
+
+
+def test_rqaoa_pointwise(benchmark, graph):
+    result = benchmark.pedantic(
+        lambda: _solve(graph, batched=False), rounds=3, iterations=1
+    )
+    assert result.cut > 0
+
+
+def test_rqaoa_engine_backed(benchmark, graph):
+    result = benchmark.pedantic(
+        lambda: _solve(graph, batched=True), rounds=3, iterations=1
+    )
+    assert result.cut > 0
+
+
+def test_modes_identical_cuts(graph):
+    batched = _solve(graph, batched=True)
+    pointwise = _solve(graph, batched=False)
+    assert batched.cut == pointwise.cut
+    assert batched.eliminations == pointwise.eliminations
+
+
+# ---------------------------------------------------------------------------
+# JSON smoke mode (no pytest-benchmark): python bench_rqaoa_engine.py --quick
+# ---------------------------------------------------------------------------
+def _best_of(fn, repeats: int = 3) -> float:
+    fn()  # warm-up (allocations, pooled buffers)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def quick_report() -> dict:
+    """Timings + identical-cut check for both comparisons above."""
+    graph = _graph()
+    total_point_s = _best_of(lambda: _solve(graph, batched=False))
+    total_engine_s = _best_of(lambda: _solve(graph, batched=True))
+    point = _solve(graph, batched=False)
+    engine_backed = _solve(graph, batched=True)
+
+    # Per-round correlation sweep, isolated on round-1 state/params.
+    params = np.full(2 * LAYERS, 0.3)
+    pairs = list(zip(graph.u.tolist(), graph.v.tolist()))
+    sweep_point_s = _best_of(
+        lambda: _zz_correlations_pointwise(
+            MaxCutEnergy(graph).statevector(params), pairs
+        )
+    )
+    engine = SweepEngine(graph)
+    state = engine.statevectors(params)[0]  # reused from the solve in situ
+    sweep_engine_s = _best_of(lambda: zz_correlations_batch(state, pairs))
+
+    return {
+        "bench": "rqaoa_engine_quick",
+        "n_nodes": N_NODES,
+        "edge_prob": EDGE_PROB,
+        "graph_seed": GRAPH_SEED,
+        "n_cutoff": N_CUTOFF,
+        "layers": LAYERS,
+        "solver_options": dict(SOLVER_OPTIONS),
+        "pointwise_s": total_point_s,
+        "engine_s": total_engine_s,
+        "total_speedup": total_point_s / total_engine_s,
+        "sweep_pointwise_s": sweep_point_s,
+        "sweep_engine_s": sweep_engine_s,
+        "sweep_speedup": sweep_point_s / sweep_engine_s,
+        "sweep_speedup_of": (
+            "per-round correlation sweep: MaxCutEnergy rebuild + statevector "
+            "re-evolve + per-pair loop vs one batched pass over the reused "
+            "state.  total_speedup is the end-to-end rqaoa_solve ratio, "
+            "bounded by the shared (cache-resident) evolve kernels."
+        ),
+        "cut": point.cut,
+        "cuts_identical": bool(point.cut == engine_backed.cut),
+        "eliminations_identical": point.eliminations == engine_backed.eliminations,
+    }
+
+
+def main() -> None:
+    import argparse
+
+    from conftest import REPORTS_DIR
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="emit a point-vs-engine RQAOA timing JSON instead of running "
+        "pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.quick:
+        parser.error("run under pytest for full benchmarks, or pass --quick")
+    report = quick_report()
+    assert report["cuts_identical"], "engine-backed RQAOA changed the cut"
+    assert report["eliminations_identical"], "elimination order diverged"
+    # Regression guard with headroom for noisy shared CI runners (min-of-3
+    # timings of ~ms kernels wobble).  The recorded ratios are the real
+    # numbers (locally: sweep ~2.2-2.7x against the ≥2x acceptance bar,
+    # total ~1.4x, the latter bounded by the shared evolve kernels).
+    assert report["sweep_speedup"] >= 1.5, (
+        f"correlation sweep regressed: {report['sweep_speedup']:.2f}x"
+    )
+    text = json.dumps(report, indent=2)
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "bench_rqaoa_engine_quick.json").write_text(text + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,15 @@ class ScalingConfig:
     Paper scale: ``node_counts=(500, 1000, 1500, 2000, 2500)``,
     ``n_max_qubits`` up to 33, ``qaoa_grid`` = the full (p, rhobeg) grid,
     ``gw_fail_above=2000``.
+
+    All QAOA sub-graph solves are engine-backed: each sub-graph gets a
+    :class:`repro.qaoa.engine.SweepEngine` whose pooled buffers are shared
+    across the many equal-sized partitions a sweep produces (one working
+    set per sub-graph size, not per solve), and the whole option grid of a
+    sub-graph reuses that engine's cached cut diagonal.  ``n_starts > 1``
+    additionally runs every variational loop as lock-step multi-start —
+    with ``"optimizer": "spsa"`` in ``qaoa_options`` each iteration is one
+    batched ``(2·n_starts, 2p)`` engine evaluation.
     """
 
     node_counts: Sequence[int] = (60, 120, 180)
@@ -46,6 +55,7 @@ class ScalingConfig:
         default_factory=lambda: {"layers": 3, "maxiter": 40}
     )
     qaoa_grid: Optional[Sequence[dict]] = None
+    n_starts: int = 1
     gw_options: dict = field(default_factory=dict)
     gw_fail_above: Optional[int] = None
     partition_method: str = "greedy_modularity"
@@ -114,11 +124,16 @@ def run_scaling_experiment(config: Optional[ScalingConfig] = None) -> ScalingRes
     elapsed: Dict[str, List[float]] = {name: [] for name in SERIES_NAMES}
     subproblem_counts: List[int] = []
 
+    # ``n_starts`` rides along with the per-sub-graph QAOA options (it is a
+    # QAOASolver knob), unless the caller pinned it there explicitly.
+    qaoa_options = dict(config.qaoa_options)
+    qaoa_options.setdefault("n_starts", config.n_starts)
+
     def qaoa2(method: str, graph, seed: int):
         return QAOA2Solver(
             n_max_qubits=config.n_max_qubits,
             subgraph_method=method,
-            qaoa_options=dict(config.qaoa_options),
+            qaoa_options=dict(qaoa_options),
             qaoa_grid=config.qaoa_grid,
             gw_options=dict(config.gw_options),
             partition_method=config.partition_method,

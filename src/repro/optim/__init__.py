@@ -13,8 +13,9 @@ import numpy as np
 
 from repro.optim.base import OptimizationResult, RecordingObjective
 from repro.optim.cobyla import minimize_cobyla
+from repro.optim.multi_start import multi_start_spsa
 from repro.optim.nelder_mead import minimize_nelder_mead
-from repro.optim.spsa import minimize_spsa
+from repro.optim.spsa import minimize_spsa, spsa_perturbation_from_rhobeg
 from repro.util.rng import RngLike
 
 
@@ -44,7 +45,7 @@ def minimize(
             fun,
             x0,
             maxiter=maxiter,
-            c=max(0.02, rhobeg / 5),
+            c=spsa_perturbation_from_rhobeg(rhobeg),
             rng=rng,
             batch_fun=batch_fun,
         )
@@ -60,4 +61,6 @@ __all__ = [
     "minimize_cobyla",
     "minimize_spsa",
     "minimize_nelder_mead",
+    "multi_start_spsa",
+    "spsa_perturbation_from_rhobeg",
 ]

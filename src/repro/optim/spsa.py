@@ -4,6 +4,12 @@ SPSA estimates the gradient from two objective evaluations regardless of
 dimension, making it the standard choice for shot-noisy VQA objectives.
 Included for the optimizer ablation (DESIGN.md A4); standard Spall (1998)
 gain schedules.
+
+The update loop itself lives in
+:func:`repro.optim.multi_start.multi_start_spsa` — the scalar optimizer is
+its ``S = 1`` special case (bitwise, including evaluation order and
+``nfev``; pinned in ``tests/test_optim.py``), so the gain schedules and the
+evaluation-budget accounting exist in exactly one place.
 """
 
 from __future__ import annotations
@@ -12,8 +18,16 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.optim.base import OptimizationResult, RecordingObjective
-from repro.util.rng import RngLike, ensure_rng
+from repro.optim.base import OptimizationResult
+from repro.optim.multi_start import multi_start_spsa
+from repro.util.rng import RngLike
+
+
+def spsa_perturbation_from_rhobeg(rhobeg: float) -> float:
+    """Map the paper's COBYLA ``rhobeg`` knob onto SPSA's perturbation size
+    ``c`` — shared by the ``minimize`` dispatcher and the multi-start QAOA
+    solver so single- and multi-start runs see identical gain schedules."""
+    return max(0.02, rhobeg / 5)
 
 
 def minimize_spsa(
@@ -33,46 +47,31 @@ def minimize_spsa(
 
     Gain schedules: ``a_k = a / (k + 1 + A)^alpha``, ``c_k = c / (k+1)^gamma``
     with the stability offset ``A`` defaulting to 10% of ``maxiter`` (Spall's
-    rule of thumb).  Uses 2 evaluations per iteration.
+    rule of thumb).  Uses 2 evaluations per iteration; ``maxiter`` is a hard
+    evaluation budget (``nfev <= maxiter``), with any leftover evaluation
+    spent on the final iterate so it can win best-seen (see
+    :func:`repro.optim.multi_start.multi_start_spsa` for the exact
+    accounting).
 
     ``batch_fun``, when given, maps a ``(B, d)`` matrix of points to a
     ``(B,)`` vector of objective values and is used to evaluate the ±
     perturbation pair as one batch of 2 — the natural fit for batched QAOA
     engines, halving the Python-dispatch overhead of the hot loop.
     """
-    gen = ensure_rng(rng)
-    recorder = RecordingObjective(fun)
-    x = np.array(x0, dtype=np.float64)
-    stability = float(A) if A is not None else 0.1 * maxiter
-    n_iter = max(1, maxiter // 2)  # two evaluations per iteration
-    for k in range(n_iter):
-        ak = a / (k + 1 + stability) ** alpha
-        ck = c / (k + 1) ** gamma
-        delta = gen.choice((-1.0, 1.0), size=len(x))
-        x_plus = x + ck * delta
-        x_minus = x - ck * delta
-        if batch_fun is not None:
-            pair = np.asarray(batch_fun(np.stack([x_plus, x_minus])), dtype=np.float64)
-            if pair.shape != (2,):
-                raise ValueError(f"batch_fun returned shape {pair.shape}, expected (2,)")
-            f_plus = recorder.record(x_plus, pair[0])
-            f_minus = recorder.record(x_minus, pair[1])
-        else:
-            f_plus = recorder(x_plus)
-            f_minus = recorder(x_minus)
-        gradient = (f_plus - f_minus) / (2.0 * ck) * (1.0 / delta)
-        x = x - ak * gradient
-    # Final evaluation at the last iterate so it can win best-seen.
-    recorder(x)
-    return OptimizationResult(
-        x=recorder.best_x,
-        fun=recorder.best_f,
-        nfev=recorder.nfev,
-        nit=n_iter,
-        success=True,
-        message="SPSA completed",
-        history=recorder.history,
+    result = multi_start_spsa(
+        fun,
+        np.asarray(x0, dtype=np.float64)[None, :],
+        maxiter=maxiter,
+        a=a,
+        c=c,
+        alpha=alpha,
+        gamma=gamma,
+        A=A,
+        rng=rng,
+        batch_fun=batch_fun,
     )
+    result.message = "SPSA completed"
+    return result
 
 
-__all__ = ["minimize_spsa"]
+__all__ = ["minimize_spsa", "spsa_perturbation_from_rhobeg"]

@@ -2,7 +2,12 @@
 strategies, the solver and the recursive-QAOA extension."""
 
 from repro.qaoa.energy import MaxCutEnergy
-from repro.qaoa.engine import ScratchPool, SweepEngine, shared_pool
+from repro.qaoa.engine import (
+    ScratchPool,
+    SweepEngine,
+    auto_chunk_size,
+    shared_pool,
+)
 from repro.qaoa.params import (
     default_iterations,
     fixed_init,
@@ -18,6 +23,7 @@ __all__ = [
     "MaxCutEnergy",
     "ScratchPool",
     "SweepEngine",
+    "auto_chunk_size",
     "shared_pool",
     "QAOAResult",
     "QAOASolver",

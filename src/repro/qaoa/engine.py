@@ -27,15 +27,27 @@ Memory model
 Peak working set is two ``(chunk_size, 2**n)`` complex buffers (states +
 phase scratch) ≈ ``32 · chunk_size · 2**n`` bytes, regardless of how many
 parameter vectors are requested: ``energies()`` walks the batch in
-``chunk_size`` slices.  The default chunk (64) keeps a 20-qubit sweep
-under ~2 GiB while still saturating the vectorised kernels for the small
-sub-graphs QAOA² produces.  Buffers live in a process-wide pool keyed by
-shape, so repeated engines over equal-sized graphs (the QAOA² partition
-loop) reuse the same allocations.
+``chunk_size`` slices.  By default the chunk is sized to the qubit count
+(``auto_chunk_size``): small graphs get wide chunks that saturate the
+vectorised kernels, large graphs get narrow chunks whose working set
+stays cache-resident — at 14+ qubits an over-wide chunk spills the CPU
+cache and runs *slower* than the per-point loop it replaces.  Buffers
+live in a process-wide pool keyed by shape, so repeated engines over
+equal-sized graphs (the QAOA² partition loop) reuse the same
+allocations.
 
-Follow-on consumers (see ROADMAP.md open items): the scaling study
-(``experiments/scaling.py``) and RQAOA's correlation sweeps
-(``qaoa/rqaoa.py``) still evaluate point-by-point.
+Consumers
+---------
+Every QAOA evaluator in the repo now routes through this engine: the
+Fig. 3 grid search and angle-grid sweeps, the QAOA² sub-graph option grid
+(one engine per sub-graph, pooled buffers shared across equal-sized
+partitions — which is also what the Fig. 4 scaling study
+``experiments/scaling.py`` rides on), RQAOA's per-elimination rounds
+(``qaoa/rqaoa.py``: engine-backed statevector reuse plus one batched
+correlation sweep per round), and the multi-start variational loop
+(``repro.optim.multi_start.multi_start_spsa`` submits all ± perturbation
+pairs of all starts as one ``(2S, 2p)`` batch per iteration via
+``QAOASolver(n_starts=...)``).
 """
 
 from __future__ import annotations
@@ -56,9 +68,21 @@ from repro.quantum.statevector import (
 )
 
 DEFAULT_CHUNK_SIZE = 64
+# Target working set for one evaluation chunk (states + scratch): sized so
+# the hot buffers of a chunk stay cache-resident on a typical core.
+CHUNK_BUDGET_BYTES = 512 * 1024
 # Cap on the spectral angle-grid path's per-chunk working set (two
 # (rows, 2**n) complex buffers: transformed states + WHT scratch).
 SPECTRAL_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+def auto_chunk_size(n_qubits: int) -> int:
+    """Default chunk rows for ``n_qubits``: as wide as possible while the
+    two ``(chunk, 2**n)`` complex work buffers fit ``CHUNK_BUDGET_BYTES``
+    (clamped to [1, DEFAULT_CHUNK_SIZE]).  Measured on the batched QAOA
+    kernels: past the cache budget, wider chunks *lose* to narrow ones."""
+    row_bytes = 2 * (1 << n_qubits) * 16  # states + scratch rows
+    return max(1, min(DEFAULT_CHUNK_SIZE, CHUNK_BUDGET_BYTES // row_bytes))
 
 
 def spectral_row_bytes(n_qubits: int) -> int:
@@ -131,11 +155,13 @@ class SweepEngine:
         graph: Graph,
         *,
         diagonal: Optional[np.ndarray] = None,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        chunk_size: Optional[int] = None,
         pool: Optional[ScratchPool] = None,
     ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")
+        if chunk_size is None:
+            chunk_size = auto_chunk_size(graph.n_nodes)
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.graph = graph
@@ -319,8 +345,10 @@ class SweepEngine:
 
 
 __all__ = [
+    "CHUNK_BUDGET_BYTES",
     "DEFAULT_CHUNK_SIZE",
     "ScratchPool",
     "SweepEngine",
+    "auto_chunk_size",
     "shared_pool",
 ]

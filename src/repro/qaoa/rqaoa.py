@@ -11,21 +11,56 @@ Implemented on the spin form of MaxCut: maximising
 ``C(z) = W/2 − ½ Σ w_ij z_i z_j`` means contractions simply re-attach (and
 possibly sign-flip) edge weights, producing signed-weight graphs that every
 solver in this repo already supports.
+
+Each elimination round is engine-backed by default: one
+:class:`repro.qaoa.engine.SweepEngine` per round shares its cached cut
+diagonal between the variational loop (batched for SPSA/multi-start
+objectives) and the final statevector evolve, and the correlation sweep
+evaluates *all* candidate edges in one pass over |ψ|²
+(:func:`repro.quantum.pauli.zz_correlations_batch`) instead of a per-pair
+Python loop.  ``batched=False`` keeps the original point-by-point path as a
+parity and benchmark reference (``benchmarks/bench_rqaoa_engine.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import CutResult, cut_value, exact_maxcut_bruteforce
-from repro.qaoa.solver import QAOASolver
-from repro.quantum.pauli import zz_correlations
 from repro.qaoa.energy import MaxCutEnergy
+from repro.qaoa.engine import SweepEngine
+from repro.qaoa.solver import QAOASolver
+from repro.quantum.pauli import zz_correlations_batch
 from repro.util.rng import RngLike, ensure_rng
+
+# Merged edges whose weight collapses below this fraction of the largest
+# magnitude that was summed into them are cancellations, not structure.
+CONTRACT_RTOL = 1e-9
+# Correlations within this band of the maximum magnitude count as tied.
+# Exact degeneracies are generic on unweighted/symmetric graphs, and the
+# batched GEMM and per-pair correlation kernels agree only to ~1e-15, so a
+# raw argmax would let sub-ULP kernel noise pick different edges.
+TIE_RTOL = 1e-9
+
+
+def _select_edge(corr: np.ndarray) -> Tuple[int, int]:
+    """(edge index, freeze sign) for the largest-|⟨Z_iZ_j⟩| edge.
+
+    Ties within ``TIE_RTOL`` of the maximum break to the canonically
+    smallest edge (pairs arrive in the graph's sorted edge order), and a
+    correlation indistinguishable from zero freezes with sign +1 — both
+    choices are invariant to which correlation kernel produced ``corr``.
+    """
+    abs_corr = np.abs(corr)
+    best_mag = float(abs_corr.max())
+    tol = TIE_RTOL * max(1.0, best_mag)
+    best_edge = int(np.flatnonzero(abs_corr >= best_mag - tol)[0])
+    sign = 1 if corr[best_edge] >= -tol else -1
+    return best_edge, sign
 
 
 @dataclass
@@ -41,7 +76,6 @@ class RQAOAResult:
 
 
 def _contract(
-    n: int,
     weights: Dict[Tuple[int, int], float],
     keep: int,
     remove: int,
@@ -53,18 +87,42 @@ def _contract(
     ``sign``; the (keep, remove) edge becomes a constant and is dropped
     (it is accounted for during reconstruction via cut_value on the
     original graph, so no constant tracking is needed here).
+
+    Merged weights are pruned with a *relative* tolerance against the
+    largest contribution that was summed into them: an exact ``!= 0.0``
+    test lets float cancellations (``w + (-w) ≈ 1e-17``) survive as
+    spurious near-zero edges that pollute later correlation sweeps and
+    ``argmax`` tie-breaks.
     """
     out: Dict[Tuple[int, int], float] = {}
+    scale: Dict[Tuple[int, int], float] = {}
     for (a, b), w in weights.items():
         if remove in (a, b):
             other = b if a == remove else a
             if other == keep:
                 continue  # becomes constant
             key = (min(keep, other), max(keep, other))
-            out[key] = out.get(key, 0.0) + sign * w
+            w = sign * w
         else:
-            out[(a, b)] = out.get((a, b), 0.0) + w
-    return {k: w for k, w in out.items() if w != 0.0}
+            key = (a, b)
+        out[key] = out.get(key, 0.0) + w
+        scale[key] = max(scale.get(key, 0.0), abs(w))
+    return {k: w for k, w in out.items() if abs(w) > CONTRACT_RTOL * scale[k]}
+
+
+def _zz_correlations_pointwise(state: np.ndarray, pairs) -> np.ndarray:
+    """Per-pair ⟨Z_i Z_j⟩ loop — the pre-engine reference implementation.
+
+    Recomputes the parity mask per edge; kept (only) as the ``batched=False``
+    parity/benchmark baseline for :func:`repro.quantum.pauli.zz_correlations_batch`.
+    """
+    probs = np.abs(state) ** 2
+    idx = np.arange(len(state), dtype=np.uint64)
+    out = np.empty(len(pairs))
+    for k, (i, j) in enumerate(pairs):
+        parity = ((idx >> np.uint64(i)) ^ (idx >> np.uint64(j))) & np.uint64(1)
+        out[k] = float(np.dot(probs, 1.0 - 2.0 * parity.astype(np.float64)))
+    return out
 
 
 def rqaoa_solve(
@@ -74,6 +132,9 @@ def rqaoa_solve(
     layers: int = 2,
     solver: Optional[QAOASolver] = None,
     rng: RngLike = None,
+    n_starts: int = 1,
+    batched: bool = True,
+    solver_options: Optional[dict] = None,
 ) -> RQAOAResult:
     """Solve MaxCut with recursive QAOA.
 
@@ -87,11 +148,27 @@ def rqaoa_solve(
         uses shallow circuits).
     solver:
         Optional pre-configured :class:`QAOASolver`; its ``layers`` wins
-        over the ``layers`` argument.
+        over the ``layers`` argument.  Each round attaches a per-round
+        sweep engine to (a copy of) it when ``batched``.
+    n_starts / solver_options:
+        Forwarded to the internally-constructed :class:`QAOASolver` when
+        ``solver`` is not given (``solver_options`` wins on conflicts);
+        ``n_starts`` with ``optimizer="spsa"`` gives the fully batched
+        multi-start variational loop.
+    batched:
+        True (default): per-round engine-backed statevector reuse and a
+        single batched correlation sweep over all candidate edges.  False:
+        the original point-by-point path (per-point statevector, per-pair
+        Python correlation loop) — identical results, kept as the parity
+        and benchmark reference.
     """
     gen = ensure_rng(rng)
     if solver is None:
-        solver = QAOASolver(layers=layers, rng=gen)
+        options = dict(solver_options or {})
+        options.setdefault("layers", layers)
+        options.setdefault("n_starts", n_starts)
+        options.setdefault("batched", batched)
+        solver = QAOASolver(rng=gen, **options)
     active = list(range(graph.n_nodes))
     weights: Dict[Tuple[int, int], float] = {
         (int(a), int(b)): float(w) for a, b, w in zip(graph.u, graph.v, graph.w)
@@ -100,18 +177,29 @@ def rqaoa_solve(
 
     while len(active) > max(n_cutoff, 1) and weights:
         label = {node: i for i, node in enumerate(active)}
-        edges = [(label[a], label[b], w) for (a, b), w in weights.items()]
+        # Canonical (sorted) edge order keeps the argmax tie-break below
+        # deterministic regardless of dict insertion history.
+        edges = [(label[a], label[b], w) for (a, b), w in sorted(weights.items())]
         current = Graph.from_edges(len(active), edges)
-        energy = MaxCutEnergy(current)
-        result = solver.solve(current)
-        state = energy.statevector(result.params)
         pairs = list(zip(current.u.tolist(), current.v.tolist()))
-        corr = zz_correlations(state, pairs)
-        best_edge = int(np.argmax(np.abs(corr)))
-        sign = 1 if corr[best_edge] >= 0 else -1
+        if batched:
+            # One engine per round: the cached cut diagonal and pooled
+            # buffers back the variational loop, and the solver's final
+            # statevector is reused for the correlation sweep (no
+            # re-evolve — the pre-refactor path rebuilt the diagonal AND
+            # the state a second time).
+            engine = SweepEngine(current)
+            result = replace(solver, engine=engine, keep_state=True).solve(current)
+            state = result.extra["final_state"]
+            corr = zz_correlations_batch(state, pairs)
+        else:
+            result = solver.solve(current)
+            state = MaxCutEnergy(current).statevector(result.params)
+            corr = _zz_correlations_pointwise(state, pairs)
+        best_edge, sign = _select_edge(corr)
         li, lj = pairs[best_edge]
         keep, remove = active[li], active[lj]
-        weights = _contract(graph.n_nodes, weights, keep, remove, sign)
+        weights = _contract(weights, keep, remove, sign)
         eliminations.append((keep, remove, sign))
         active.remove(remove)
 
@@ -119,7 +207,7 @@ def rqaoa_solve(
     spins = np.ones(graph.n_nodes, dtype=np.int64)
     if weights and len(active) >= 2:
         label = {node: i for i, node in enumerate(active)}
-        edges = [(label[a], label[b], w) for (a, b), w in weights.items()]
+        edges = [(label[a], label[b], w) for (a, b), w in sorted(weights.items())]
         residual = Graph.from_edges(len(active), edges)
         base = exact_maxcut_bruteforce(residual)
         residual_spins = 1 - 2 * base.assignment.astype(np.int64)
@@ -133,7 +221,7 @@ def rqaoa_solve(
         assignment=assignment,
         cut=cut_value(graph, assignment),
         eliminations=eliminations,
-        extra={"n_eliminated": len(eliminations)},
+        extra={"n_eliminated": len(eliminations), "batched": batched},
     )
 
 

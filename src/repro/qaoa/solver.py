@@ -22,11 +22,11 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import CutResult, bitstring_to_assignment, cut_value
-from repro.optim import minimize
+from repro.optim import minimize, multi_start_spsa, spsa_perturbation_from_rhobeg
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.params import default_iterations, initial_parameters
 from repro.quantum.simulator import DEFAULT_SHOTS
-from repro.quantum.statevector import probabilities, top_amplitudes
+from repro.quantum.statevector import plus_state, probabilities, top_amplitudes
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -68,6 +68,25 @@ class QAOASolver:
     init:
         Initial-parameter strategy (``ramp`` | ``fixed`` | ``random`` |
         ``warm`` with ``warm_start``).
+    n_starts:
+        Independent optimizer starts; the best-seen iterate across all
+        starts wins.  Start 0 uses the ``init`` strategy (so ``n_starts=1``
+        is exactly the single-start solver); extra starts draw random
+        angles from a spawned child generator, leaving the main RNG stream
+        untouched.  With SPSA the starts advance in lock-step and every
+        iteration evaluates all ± pairs as one ``(2*n_starts, 2p)`` engine
+        batch (:func:`repro.optim.multi_start.multi_start_spsa`); the
+        sequential optimizers fall back to one restart per start.
+    batched:
+        When True (default) exact-statevector objectives hand the optimizer
+        a vectorised ``(B, 2p) -> (B,)`` batch objective backed by the
+        sweep engine.  Set False to force point-by-point evaluation — the
+        parity/benchmark reference path.
+    keep_state:
+        Store the final statevector in ``result.extra["final_state"]`` so
+        downstream consumers (RQAOA's correlation sweep) reuse it instead
+        of re-evolving the circuit.  Off by default: a 2**n complex array
+        per result is too heavy to retain for bulk QAOA² sweeps.
     noise / noise_trajectories:
         Optional :class:`repro.quantum.noise.NoiseModel`; when set, the
         objective becomes the trajectory-averaged noisy ⟨H_C⟩ (NISQ
@@ -90,6 +109,9 @@ class QAOASolver:
     selection: str = "top1"
     top_k: int = 16
     init: str = "ramp"
+    n_starts: int = 1
+    batched: bool = True
+    keep_state: bool = False
     warm_start: Optional[np.ndarray] = None
     noise: Optional[object] = None  # repro.quantum.noise.NoiseModel
     noise_trajectories: int = 8
@@ -111,8 +133,10 @@ class QAOASolver:
             energy = MaxCutEnergy(graph)
         if graph.n_edges == 0:
             assignment = np.zeros(graph.n_nodes, dtype=np.uint8)
+            extra = {"final_state": plus_state(graph.n_nodes)} if self.keep_state else {}
             return QAOAResult(
-                assignment, 0.0, 0.0, np.zeros(2 * self.layers), self.layers, 0
+                assignment, 0.0, 0.0, np.zeros(2 * self.layers), self.layers, 0,
+                extra=extra,
             )
         maxiter = (
             self.maxiter if self.maxiter is not None else default_iterations(self.layers)
@@ -134,28 +158,29 @@ class QAOASolver:
             def neg_fp(params: np.ndarray) -> float:
                 return -energy.expectation(params)
 
-            # Exact objectives can be evaluated in batch (SPSA's ± pair);
-            # shot-sampled and noisy objectives stay per-point because each
-            # evaluation consumes generator state.
-            def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
-                return -energy.energies_batch(params_matrix)
+            # Exact objectives can be evaluated in batch (SPSA's ± pairs,
+            # one row per start); shot-sampled and noisy objectives stay
+            # per-point because each evaluation consumes generator state.
+            if self.batched:
+                def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+                    return -energy.energies_batch(params_matrix)
         elif self.objective == "sampled":
             def neg_fp(params: np.ndarray) -> float:
                 return -energy.sampled_expectation(params, self.shots, rng=gen)
         else:
             raise ValueError(f"unknown objective {self.objective!r}")
 
-        opt = minimize(
-            neg_fp,
-            x0,
-            method=self.optimizer,
-            rhobeg=self.rhobeg,
-            maxiter=maxiter,
-            rng=gen,
-            batch_fun=neg_fp_batch,
-        )
-        state = energy.statevector(opt.x)
+        opt = self._optimize(neg_fp, neg_fp_batch, x0, maxiter, gen)
+        if self.engine is not None and self.engine.graph is graph:
+            # Bitwise-identical to the per-point evolve (pinned in tests),
+            # but through the pooled batch kernels.
+            state = self.engine.statevectors(np.asarray(opt.x))[0]
+        else:
+            state = energy.statevector(opt.x)
         assignment, cut, selection_info = self._select(graph, energy, state, gen)
+        if self.keep_state:
+            selection_info = dict(selection_info)
+            selection_info["final_state"] = state
         return QAOAResult(
             assignment=assignment,
             cut=cut,
@@ -167,6 +192,62 @@ class QAOASolver:
             selection=self.selection,
             extra=selection_info,
         )
+
+    # ------------------------------------------------------------------
+    def _optimize(self, neg_fp, neg_fp_batch, x0, maxiter, gen):
+        """Run the configured optimizer over ``n_starts`` initial points."""
+        if self.n_starts < 1:
+            raise ValueError(f"n_starts must be >= 1, got {self.n_starts}")
+        if self.n_starts == 1:
+            return minimize(
+                neg_fp,
+                x0,
+                method=self.optimizer,
+                rhobeg=self.rhobeg,
+                maxiter=maxiter,
+                rng=gen,
+                batch_fun=neg_fp_batch,
+            )
+        # Extra starts draw from a spawned child generator so the main
+        # stream — and with it SPSA's shared perturbation sequence — is
+        # exactly the n_starts=1 stream: adding starts can only improve
+        # the best-seen iterate.
+        child = gen.spawn(1)[0]
+        x0s = np.stack(
+            [x0]
+            + [
+                initial_parameters(self.layers, "random", rng=child)
+                for _ in range(self.n_starts - 1)
+            ]
+        )
+        if self.optimizer == "spsa":
+            return multi_start_spsa(
+                neg_fp,
+                x0s,
+                maxiter=maxiter,
+                c=spsa_perturbation_from_rhobeg(self.rhobeg),
+                rng=gen,
+                batch_fun=neg_fp_batch,
+            )
+        # Sequential optimizers (COBYLA / Nelder-Mead): one restart per
+        # start, best-seen result wins, nfev accumulated fleet-wide.
+        best = None
+        nfev = 0
+        for row in x0s:
+            result = minimize(
+                neg_fp,
+                row,
+                method=self.optimizer,
+                rhobeg=self.rhobeg,
+                maxiter=maxiter,
+                rng=gen,
+                batch_fun=neg_fp_batch,
+            )
+            nfev += result.nfev
+            if best is None or result.fun < best.fun:
+                best = result
+        best.nfev = nfev
+        return best
 
     # ------------------------------------------------------------------
     def _select(

@@ -151,7 +151,12 @@ def _solve_subgraph_job(payload: dict) -> dict:
         from repro.qaoa.rqaoa import rqaoa_solve
 
         layers = int(qaoa_options.get("layers", 2))
-        chosen = rqaoa_solve(graph, layers=layers, rng=seed).as_cut_result()
+        chosen = rqaoa_solve(
+            graph,
+            layers=layers,
+            rng=seed,
+            solver_options=dict(qaoa_options),
+        ).as_cut_result()
         out["qaoa_cut"] = chosen.cut
     elif method == "anneal":
         # QUBO/annealer path (§1's "conversely formulated as QUBO" remark).
@@ -191,7 +196,12 @@ class QAOA2Solver:
     qaoa_options / qaoa_grid / gw_options:
         Forwarded to the leaf solvers; ``qaoa_grid`` is a list of option
         overrides, the best cut over the grid is kept (the Fig. 4 setup runs
-        the full (p, rhobeg) grid per sub-graph).
+        the full (p, rhobeg) grid per sub-graph).  Any
+        :class:`repro.qaoa.solver.QAOASolver` knob is accepted — in
+        particular ``{"n_starts": S, "optimizer": "spsa"}`` runs every
+        sub-graph's variational loop as lock-step multi-start, one
+        ``(2S, 2p)`` batched engine evaluation per iteration on the
+        sub-graph's shared engine.
     partition_method:
         Community detector (see :func:`repro.graphs.partition.partition_with_cap`).
     executor:

@@ -165,6 +165,71 @@ class TestScaling:
         assert cfg.node_counts == (500, 1000, 1500, 2000, 2500)
         assert cfg.gw_fail_above == 2000
 
+    def test_matches_direct_qaoa2_replication(self):
+        # Parity pin: the engine-routed driver must produce exactly the
+        # cuts of a by-hand replication of its per-method solver calls.
+        from repro.graphs.generators import erdos_renyi
+        from repro.qaoa2.solver import QAOA2Solver
+        from repro.util.rng import ensure_rng
+
+        config = ScalingConfig(
+            node_counts=(36,),
+            qaoa_options={"layers": 2, "maxiter": 15},
+            rng=7,
+        )
+        result = run_scaling_experiment(config)
+
+        gen = ensure_rng(7)
+        graph = erdos_renyi(36, config.edge_prob, rng=gen)
+        seeds = gen.integers(2**31, size=5)
+        expected = {}
+        for name, method, seed in (
+            ("Classic", "gw", seeds[1]),
+            ("QAOA", "qaoa", seeds[2]),
+            ("Best", "best", seeds[3]),
+        ):
+            expected[name] = QAOA2Solver(
+                n_max_qubits=config.n_max_qubits,
+                subgraph_method=method,
+                qaoa_options={**config.qaoa_options, "n_starts": 1},
+                partition_method=config.partition_method,
+                rng=int(seed),
+            ).solve(graph).cut
+        for name, cut in expected.items():
+            assert result.cuts[name][0] == cut
+
+    def test_n_starts_knob_runs_batched_multi_start(self):
+        result = run_scaling_experiment(
+            ScalingConfig(
+                node_counts=(30,),
+                qaoa_options={"layers": 2, "maxiter": 20, "optimizer": "spsa"},
+                n_starts=2,
+                rng=3,
+            )
+        )
+        for name in ("Random", "Classic", "QAOA", "Best", "GW"):
+            assert len(result.cuts[name]) == 1
+        assert result.cuts["QAOA"][0] > 0
+
+    def test_explicit_qaoa_option_wins_over_knob(self):
+        # A caller-pinned n_starts inside qaoa_options is not overridden.
+        a = run_scaling_experiment(
+            ScalingConfig(
+                node_counts=(24,),
+                qaoa_options={"layers": 2, "maxiter": 15, "n_starts": 1},
+                n_starts=3,
+                rng=0,
+            )
+        )
+        b = run_scaling_experiment(
+            ScalingConfig(
+                node_counts=(24,),
+                qaoa_options={"layers": 2, "maxiter": 15, "n_starts": 1},
+                rng=0,
+            )
+        )
+        assert a.cuts["QAOA"] == b.cuts["QAOA"]
+
 
 class TestWorkflowExperiments:
     def test_hetjob_experiment_reduces_idle(self):

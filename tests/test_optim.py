@@ -9,6 +9,7 @@ from repro.optim import (
     minimize_cobyla,
     minimize_nelder_mead,
     minimize_spsa,
+    multi_start_spsa,
 )
 
 
@@ -74,6 +75,29 @@ class TestSPSA:
         result = minimize_spsa(quadratic, np.zeros(2), maxiter=40, rng=0)
         assert result.nfev <= 41  # 2 per iteration + final
 
+    @pytest.mark.parametrize("maxiter", [1, 2, 3, 5, 7, 40, 41, 100])
+    def test_maxiter_is_hard_evaluation_bound(self, maxiter):
+        # Regression: the final best-seen evaluation used to push nfev to
+        # maxiter + 1 (and maxiter=1 spent 3 evaluations).
+        result = minimize_spsa(quadratic, np.zeros(2), maxiter=maxiter, rng=0)
+        assert result.nfev <= maxiter
+        assert result.nfev == len(result.history)
+
+    def test_odd_budget_spends_leftover_on_final_iterate(self):
+        result = minimize_spsa(quadratic, np.zeros(2), maxiter=41, rng=0)
+        assert result.nfev == 41  # 20 iterations + the final evaluation
+
+    def test_budget_of_two_performs_an_iteration(self):
+        # maxiter=2 affords exactly one +/- pair; the optimizer must take
+        # that gradient step rather than just scoring x0.
+        result = minimize_spsa(quadratic, np.ones(2), maxiter=2, rng=0)
+        assert result.nit == 1
+        assert result.nfev == 2
+
+    def test_invalid_maxiter_rejected(self):
+        with pytest.raises(ValueError, match="maxiter"):
+            minimize_spsa(quadratic, np.zeros(2), maxiter=0, rng=0)
+
     def test_noisy_objective_progress(self):
         rng_noise = np.random.default_rng(1)
 
@@ -82,6 +106,66 @@ class TestSPSA:
 
         result = minimize_spsa(noisy, np.zeros(2), maxiter=400, rng=2, a=0.5)
         assert quadratic(result.x) < 1.0
+
+
+class TestMultiStartSPSA:
+    def quadratic_batch(self, matrix):
+        return np.array([quadratic(row) for row in matrix])
+
+    def test_single_start_matches_minimize_spsa(self):
+        # Shared perturbation stream: S=1 reproduces the scalar optimizer
+        # bitwise, including history order and nfev.
+        for maxiter in (7, 40, 61):
+            single = minimize_spsa(quadratic, np.zeros(3), maxiter=maxiter, rng=4)
+            multi = multi_start_spsa(quadratic, np.zeros(3), maxiter=maxiter, rng=4)
+            assert multi.fun == single.fun
+            np.testing.assert_array_equal(multi.x, single.x)
+            assert multi.history == single.history
+            assert multi.nfev == single.nfev
+
+    def test_more_starts_never_worse_than_single(self):
+        # Start 0 shares x0 and the delta stream with the single start, so
+        # the fleet's best-seen value can only improve on it.
+        extras = np.random.default_rng(9).uniform(-2.0, 2.0, size=(4, 3))
+        for seed in range(5):
+            single = minimize_spsa(quadratic, np.zeros(3), maxiter=50, rng=seed)
+            multi = multi_start_spsa(
+                quadratic, np.vstack([np.zeros(3), extras]), maxiter=50, rng=seed
+            )
+            assert multi.fun <= single.fun
+
+    def test_batch_fun_matches_pointwise(self):
+        x0s = np.random.default_rng(2).uniform(-1.0, 1.0, size=(3, 4))
+        pointwise = multi_start_spsa(quadratic, x0s, maxiter=60, rng=1)
+        batched = multi_start_spsa(
+            quadratic, x0s, maxiter=60, rng=1, batch_fun=self.quadratic_batch
+        )
+        assert batched.fun == pointwise.fun
+        np.testing.assert_array_equal(batched.x, pointwise.x)
+        assert batched.history == pointwise.history
+        assert batched.nfev == pointwise.nfev
+
+    def test_total_budget_and_iterations(self):
+        x0s = np.zeros((3, 2))
+        result = multi_start_spsa(quadratic, x0s, maxiter=41, rng=0)
+        assert result.nfev == 3 * 41  # per-start budget, fleet-wide count
+        assert result.nit == 20
+
+    def test_batch_shape_validated(self):
+        with pytest.raises(ValueError, match="batch_fun"):
+            multi_start_spsa(
+                quadratic,
+                np.zeros((2, 3)),
+                maxiter=4,
+                rng=0,
+                batch_fun=lambda m: np.zeros(1),
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="maxiter"):
+            multi_start_spsa(quadratic, np.zeros((2, 3)), maxiter=0)
+        with pytest.raises(ValueError, match="x0s"):
+            multi_start_spsa(quadratic, np.zeros((1, 2, 3)), maxiter=10)
 
 
 class TestNelderMead:

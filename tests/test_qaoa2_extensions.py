@@ -22,6 +22,21 @@ class TestExtensionMethods:
         level0 = [rec for rec in result.subgraphs if rec.level == 0]
         assert all(rec.method == "rqaoa" for rec in level0)
 
+    def test_rqaoa_subgraph_forwards_solver_options(self, er_medium):
+        # qaoa_options beyond ``layers`` (optimizer, budget, n_starts) must
+        # reach the per-round QAOA solves of the rqaoa leaves.
+        result = QAOA2Solver(
+            n_max_qubits=10,
+            subgraph_method="rqaoa",
+            qaoa_options={
+                "layers": 1, "maxiter": 10, "optimizer": "spsa", "n_starts": 2,
+            },
+            rng=0,
+        ).solve(er_medium)
+        assert result.cut == pytest.approx(cut_value(er_medium, result.assignment))
+        level0 = [rec for rec in result.subgraphs if rec.level == 0]
+        assert all(rec.method == "rqaoa" for rec in level0)
+
     def test_anneal_subgraph_method(self, er_medium):
         result = QAOA2Solver(
             n_max_qubits=10, subgraph_method="anneal", rng=0

@@ -127,3 +127,66 @@ class TestObjectives:
         assert result.cut <= exact + 1e-9
         # topk over 16 candidates should land at a decent cut
         assert result.cut >= 0.0  # never below the empty cut
+
+
+class TestMultiStart:
+    def test_single_start_default_unchanged(self, er_small):
+        # n_starts=1 must be byte-for-byte the pre-multi-start solver.
+        base = QAOASolver(layers=2, rng=0, maxiter=30).solve(er_small)
+        one = QAOASolver(layers=2, rng=0, maxiter=30, n_starts=1).solve(er_small)
+        np.testing.assert_array_equal(base.params, one.params)
+        assert base.cut == one.cut
+        assert base.history == one.history
+
+    def test_spsa_multi_start_never_worse(self, er_small):
+        # Start 0 shares the init and perturbation stream with the single
+        # start, so the fleet's best-seen energy can only improve.
+        for seed in (0, 1, 2):
+            single = QAOASolver(
+                layers=2, optimizer="spsa", rng=seed, maxiter=40
+            ).solve(er_small)
+            multi = QAOASolver(
+                layers=2, optimizer="spsa", rng=seed, maxiter=40, n_starts=4
+            ).solve(er_small)
+            assert multi.energy >= single.energy - 1e-12
+
+    def test_spsa_multi_start_batched_matches_pointwise(self, er_small):
+        batched = QAOASolver(
+            layers=2, optimizer="spsa", rng=3, maxiter=40, n_starts=3
+        ).solve(er_small)
+        pointwise = QAOASolver(
+            layers=2, optimizer="spsa", rng=3, maxiter=40, n_starts=3,
+            batched=False,
+        ).solve(er_small)
+        assert batched.cut == pointwise.cut
+        # The batched reduction (GEMV) may differ from the per-point dot in
+        # the last float bits, so trajectories agree only to ~1e-12.
+        np.testing.assert_allclose(batched.params, pointwise.params, atol=1e-9)
+        assert batched.nfev == pointwise.nfev
+
+    def test_sequential_optimizer_restarts(self, er_small):
+        single = QAOASolver(layers=2, rng=0, maxiter=25).solve(er_small)
+        multi = QAOASolver(layers=2, rng=0, maxiter=25, n_starts=3).solve(er_small)
+        assert multi.energy >= single.energy - 1e-12
+        assert multi.nfev > single.nfev  # fleet-wide evaluation count
+
+    def test_invalid_n_starts(self, er_small):
+        with pytest.raises(ValueError, match="n_starts"):
+            QAOASolver(layers=2, rng=0, n_starts=0).solve(er_small)
+
+    def test_keep_state_exposes_final_state(self, er_small):
+        result = QAOASolver(layers=2, rng=0, maxiter=20, keep_state=True).solve(
+            er_small
+        )
+        state = result.extra["final_state"]
+        assert state.shape == (1 << er_small.n_nodes,)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+        plain = QAOASolver(layers=2, rng=0, maxiter=20).solve(er_small)
+        assert "final_state" not in plain.extra
+
+    def test_keep_state_on_edgeless_graph(self):
+        g = Graph.from_edges(3, [])
+        result = QAOASolver(layers=1, rng=0, keep_state=True).solve(g)
+        state = result.extra["final_state"]
+        # No cost layer, zero angles: the state is still |+>^n.
+        np.testing.assert_allclose(state, np.full(8, 1 / np.sqrt(8)), atol=1e-15)

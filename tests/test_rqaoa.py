@@ -10,7 +10,9 @@ from repro.graphs import (
     exact_maxcut_bruteforce,
     ring,
 )
+from repro.graphs.graph import Graph
 from repro.qaoa import QAOASolver, rqaoa_solve
+from repro.qaoa.rqaoa import _contract
 
 
 class TestRQAOA:
@@ -72,3 +74,94 @@ class TestRQAOA:
             assert 0 <= keep < 10 and 0 <= remove < 10
             assert sign in (-1, 1)
             assert keep != remove
+
+
+class TestEngineBackedParity:
+    """The engine-backed path must reproduce the point-by-point path."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batched_matches_pointwise_cuts(self, seed):
+        g = erdos_renyi(12, 0.4, weighted=True, rng=seed + 20)
+        batched = rqaoa_solve(g, n_cutoff=6, layers=2, rng=0, batched=True)
+        pointwise = rqaoa_solve(g, n_cutoff=6, layers=2, rng=0, batched=False)
+        assert batched.cut == pointwise.cut
+        assert batched.eliminations == pointwise.eliminations
+        np.testing.assert_array_equal(batched.assignment, pointwise.assignment)
+
+    @pytest.mark.parametrize("seed", [10, 15, 17])
+    def test_unweighted_graph_parity(self, seed):
+        # Unweighted graphs have exactly-degenerate correlations; the
+        # tolerance-aware tie-break must keep the sub-ULP GEMM-vs-loop
+        # kernel differences from steering the two paths apart.
+        g = erdos_renyi(10, 0.4, rng=seed)
+        batched = rqaoa_solve(g, n_cutoff=4, layers=1, rng=0, batched=True)
+        pointwise = rqaoa_solve(g, n_cutoff=4, layers=1, rng=0, batched=False)
+        assert batched.cut == pointwise.cut
+        assert batched.eliminations == pointwise.eliminations
+
+    def test_ring_parity(self):
+        g = ring(10)
+        batched = rqaoa_solve(g, n_cutoff=4, layers=1, rng=0, batched=True)
+        pointwise = rqaoa_solve(g, n_cutoff=4, layers=1, rng=0, batched=False)
+        assert batched.cut == pointwise.cut
+        assert batched.eliminations == pointwise.eliminations
+
+    def test_multi_start_spsa_parity(self):
+        g = erdos_renyi(10, 0.5, weighted=True, rng=31)
+        options = {"optimizer": "spsa", "maxiter": 30, "n_starts": 3}
+        batched = rqaoa_solve(
+            g, n_cutoff=5, layers=1, rng=0, batched=True, solver_options=options
+        )
+        pointwise = rqaoa_solve(
+            g, n_cutoff=5, layers=1, rng=0, batched=False, solver_options=options
+        )
+        assert batched.cut == pointwise.cut
+        assert batched.eliminations == pointwise.eliminations
+
+    def test_batched_flag_recorded(self):
+        g = erdos_renyi(8, 0.5, weighted=True, rng=1)
+        assert rqaoa_solve(g, n_cutoff=6, rng=0).extra["batched"] is True
+        assert (
+            rqaoa_solve(g, n_cutoff=6, rng=0, batched=False).extra["batched"]
+            is False
+        )
+
+    def test_edge_insertion_order_irrelevant(self):
+        # Same graph built with different edge orderings must eliminate the
+        # same variables (canonical edge order inside the solve loop).
+        edges = [(0, 3, 1.5), (1, 2, 0.7), (2, 3, 1.1), (0, 1, 0.9), (1, 3, 1.3)]
+        a = rqaoa_solve(Graph.from_edges(5, edges), n_cutoff=3, layers=1, rng=0)
+        b = rqaoa_solve(
+            Graph.from_edges(5, list(reversed(edges))), n_cutoff=3, layers=1, rng=0
+        )
+        assert a.eliminations == b.eliminations
+        assert a.cut == b.cut
+
+
+class TestContract:
+    def test_reattaches_and_flips(self):
+        weights = {(0, 1): 2.0, (1, 2): 3.0, (0, 2): 1.0}
+        out = _contract(weights, keep=0, remove=1, sign=-1)
+        # (0,1) becomes constant; (1,2) -> (0,2) with flipped sign.
+        assert out == {(0, 2): 1.0 - 3.0}
+
+    def test_float_cancellation_pruned(self):
+        # 0.1 + 0.2 != 0.3 exactly; the merged edge collapses to ~1e-17 and
+        # must be pruned (the old ``w != 0.0`` test kept it alive).
+        residue = 0.3 - (0.1 + 0.2)
+        assert residue != 0.0  # the engineered cancellation is inexact
+        weights = {(0, 2): 0.3, (1, 2): -(0.1 + 0.2), (1, 3): 1.0}
+        out = _contract(weights, keep=0, remove=1, sign=1)
+        assert (0, 2) not in out
+        assert out == {(0, 3): 1.0}
+
+    def test_exact_zero_pruned(self):
+        weights = {(0, 2): 1.0, (1, 2): -1.0}
+        out = _contract(weights, keep=0, remove=1, sign=1)
+        assert out == {}
+
+    def test_genuinely_small_weights_survive(self):
+        # A tiny weight that is not a cancellation residue must be kept.
+        weights = {(1, 2): 1e-14}
+        out = _contract(weights, keep=0, remove=1, sign=1)
+        assert out == {(0, 2): 1e-14}
