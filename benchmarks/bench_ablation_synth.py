@@ -8,7 +8,6 @@ densities.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import emit_report, paper_scale
 
 from repro.experiments.report import format_series_table

@@ -128,7 +128,7 @@ def quick_report(n_nodes: int = 12, resolution: int = 24) -> dict:
 def main() -> None:
     import argparse
 
-    from conftest import REPORTS_DIR
+    from conftest import REPORTS_DIR, bench_checksum, write_bench_record
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -145,6 +145,18 @@ def main() -> None:
     print(text)
     REPORTS_DIR.mkdir(exist_ok=True)
     (REPORTS_DIR / "fig3_angle_grid_quick.json").write_text(text + "\n")
+    write_bench_record(
+        "fig3_angle_grid",
+        n=report["n_nodes"],
+        p=1,
+        seconds=report["batched_s"],
+        checksum=bench_checksum(
+            {
+                "best_energy": report["best_energy"],
+                "best_params_identical": report["best_params_identical"],
+            }
+        ),
+    )
 
 
 if __name__ == "__main__":

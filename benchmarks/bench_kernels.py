@@ -137,7 +137,8 @@ def quick_report(n_qubits: int = 10, batch: int = 64, layers: int = 2) -> dict:
     single_s = _best_of(lambda: [energy.expectation(row) for row in params])
     batched_s = _best_of(lambda: engine.energies(params))
     single_vals = np.array([energy.expectation(row) for row in params])
-    max_dev = float(np.abs(engine.energies(params) - single_vals).max())
+    batched_vals = engine.energies(params)
+    max_dev = float(np.abs(batched_vals - single_vals).max())
     return {
         "bench": "kernels_quick",
         "n_qubits": n_qubits,
@@ -147,13 +148,15 @@ def quick_report(n_qubits: int = 10, batch: int = 64, layers: int = 2) -> dict:
         "batched_s": batched_s,
         "speedup": single_s / batched_s,
         "max_abs_deviation": max_dev,
+        "best_energy": float(batched_vals.max()),
+        "mean_energy": float(batched_vals.mean()),
     }
 
 
 def main() -> None:
     import argparse
 
-    from conftest import REPORTS_DIR
+    from conftest import REPORTS_DIR, bench_checksum, write_bench_record
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -170,6 +173,19 @@ def main() -> None:
     print(text)
     REPORTS_DIR.mkdir(exist_ok=True)
     (REPORTS_DIR / "bench_kernels_quick.json").write_text(text + "\n")
+    write_bench_record(
+        "kernels",
+        n=report["n_qubits"],
+        p=report["layers"],
+        seconds=report["batched_s"],
+        checksum=bench_checksum(
+            {
+                "best_energy": report["best_energy"],
+                "mean_energy": report["mean_energy"],
+                "max_abs_deviation": report["max_abs_deviation"],
+            }
+        ),
+    )
 
 
 if __name__ == "__main__":

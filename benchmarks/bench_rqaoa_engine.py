@@ -152,7 +152,7 @@ def quick_report() -> dict:
 def main() -> None:
     import argparse
 
-    from conftest import REPORTS_DIR
+    from conftest import REPORTS_DIR, bench_checksum, write_bench_record
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -178,6 +178,19 @@ def main() -> None:
     print(text)
     REPORTS_DIR.mkdir(exist_ok=True)
     (REPORTS_DIR / "bench_rqaoa_engine_quick.json").write_text(text + "\n")
+    write_bench_record(
+        "rqaoa_engine",
+        n=report["n_nodes"],
+        p=report["layers"],
+        seconds=report["engine_s"],
+        checksum=bench_checksum(
+            {
+                "cut": report["cut"],
+                "cuts_identical": report["cuts_identical"],
+                "eliminations_identical": report["eliminations_identical"],
+            }
+        ),
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,129 @@
+"""Benchmark regression gate: fresh quick records vs committed baselines.
+
+Every ``bench_*.py --quick`` writes a shared-schema record
+``reports/BENCH_<name>.json`` (``{name, n, p, seconds, checksum}``).  This
+script compares each committed ``baselines/BENCH_<name>.json`` against its
+fresh counterpart and fails (exit 1) when
+
+* the fresh record is missing (the bench did not run),
+* ``name``/``n``/``p`` changed (the bench measures something else now),
+* the result ``checksum`` differs (the computed numbers changed), or
+* ``seconds`` exceeds the baseline by more than the time tolerance
+  (default 1.5×, override with ``--tolerance`` or ``REPRO_BENCH_TOLERANCE``).
+
+A fresh record with no baseline also fails: commit a refreshed baseline
+instead (see ``benchmarks/README.md`` for the refresh recipe).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_TOLERANCE = 1.5
+SCHEMA_KEYS = ("name", "n", "p", "seconds", "checksum")
+
+
+def load_records(directory: Path) -> Dict[str, dict]:
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        records[path.name] = json.loads(path.read_text())
+    return records
+
+
+def check_records(
+    baselines: Dict[str, dict],
+    fresh: Dict[str, dict],
+    tolerance: float,
+) -> List[str]:
+    """All regression failures, as human-readable strings (empty = pass)."""
+    failures: List[str] = []
+    if not baselines:
+        failures.append(
+            "no committed baselines found — run the quick benches and copy "
+            "reports/BENCH_*.json into baselines/"
+        )
+    for filename, base in sorted(baselines.items()):
+        missing = [key for key in SCHEMA_KEYS if key not in base]
+        if missing:
+            failures.append(f"{filename}: baseline missing keys {missing}")
+            continue
+        record = fresh.get(filename)
+        if record is None:
+            failures.append(f"{filename}: no fresh record — did its --quick bench run?")
+            continue
+        for key in ("name", "n", "p"):
+            if record.get(key) != base[key]:
+                failures.append(
+                    f"{filename}: {key} changed "
+                    f"({base[key]!r} -> {record.get(key)!r}); refresh the baseline"
+                )
+        if record.get("checksum") != base["checksum"]:
+            failures.append(
+                f"{filename}: result checksum {record.get('checksum')!r} != "
+                f"baseline {base['checksum']!r} — the computed numbers changed"
+            )
+        seconds = record.get("seconds", float("inf"))
+        ratio = seconds / base["seconds"]
+        status = "ok" if ratio <= tolerance else "REGRESSED"
+        print(
+            f"{base['name']:>16}  n={base['n']:<3} p={base['p']:<2} "
+            f"{base['seconds'] * 1e3:9.2f}ms -> {seconds * 1e3:9.2f}ms "
+            f"({ratio:5.2f}x vs {tolerance:.1f}x budget)  {status}"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{filename}: {seconds:.4f}s vs baseline "
+                f"{base['seconds']:.4f}s is {ratio:.2f}x (> {tolerance:.2f}x)"
+            )
+    for filename in sorted(set(fresh) - set(baselines)):
+        failures.append(
+            f"{filename}: fresh record has no committed baseline — copy it "
+            f"into baselines/ in this change"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=BENCH_DIR / "baselines",
+        help="directory of committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--reports",
+        type=Path,
+        default=BENCH_DIR / "reports",
+        help="directory of freshly written BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed seconds ratio vs baseline (default 1.5, or "
+        "REPRO_BENCH_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 1.0:
+        parser.error("tolerance must be >= 1.0")
+    failures = check_records(
+        load_records(args.baselines), load_records(args.reports), args.tolerance
+    )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("\nbench-regression: all records within budget, checksums match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

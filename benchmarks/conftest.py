@@ -4,16 +4,73 @@ Every benchmark runs at laptop scale by default and prints the paper-style
 table it regenerates.  Set ``REPRO_PAPER_SCALE=1`` to run the published
 parameter ranges (documented per bench; some take hours and the Table-1
 tier additionally needs tens of GiB).
+
+Quick modes additionally write a shared-schema regression record
+(``BENCH_<name>.json``: ``{name, n, p, seconds, checksum}``) that
+``check_regression.py`` compares against the committed baselines under
+``baselines/`` — see ``benchmarks/README.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from pathlib import Path
 
 import pytest
 
 REPORTS_DIR = Path(__file__).parent / "reports"
+BASELINES_DIR = Path(__file__).parent / "baselines"
+# Floats entering a checksum are rounded to this many decimals so the
+# digest survives last-bit reduction-order differences across NumPy/BLAS
+# builds while still pinning every semantically meaningful digit.
+CHECKSUM_DECIMALS = 6
+
+
+def bench_checksum(payload) -> str:
+    """Stable short digest of a benchmark's result payload.
+
+    Floats are rounded (see ``CHECKSUM_DECIMALS``), arrays listified, and
+    dict keys sorted before hashing, so equal results hash equally across
+    platforms and dict orderings.  Keep payloads to a handful of summary
+    values (best index, cut, max deviation) — hashing full float grids
+    makes the digest fragile to sub-tolerance kernel noise.
+    """
+
+    import numbers
+
+    def canonical(obj):
+        if isinstance(obj, numbers.Integral):  # bool, int, np.integer
+            return int(obj)
+        if isinstance(obj, numbers.Real):  # float, np.floating
+            return round(float(obj), CHECKSUM_DECIMALS)
+        if isinstance(obj, dict):
+            return {str(k): canonical(v) for k, v in sorted(obj.items())}
+        if isinstance(obj, (list, tuple)) or hasattr(obj, "tolist"):
+            seq = obj.tolist() if hasattr(obj, "tolist") else obj
+            return [canonical(item) for item in seq]
+        return obj
+
+    text = json.dumps(canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def write_bench_record(
+    name: str, *, n: int, p: int, seconds: float, checksum: str
+) -> Path:
+    """Persist the shared-schema regression record for one quick bench."""
+    record = {
+        "name": name,
+        "n": int(n),
+        "p": int(p),
+        "seconds": float(seconds),
+        "checksum": checksum,
+    }
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
 
 
 def paper_scale() -> bool:

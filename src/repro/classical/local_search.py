@@ -6,7 +6,6 @@ are maintained incrementally so a full anneal is O(steps · avg_degree).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -16,13 +16,13 @@ quantum annealers" [29].  This module provides that alternative path:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import as_binary, cut_value
-from repro.util.rng import RngLike, ensure_rng, spawn_rngs
+from repro.util.rng import RngLike, spawn_rngs
 
 
 @dataclass

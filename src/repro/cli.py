@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.graphs.generators import erdos_renyi
 from repro.graphs.io import read_edgelist

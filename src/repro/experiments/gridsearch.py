@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.graphs.generators import erdos_renyi
 from repro.graphs.graph import Graph
 from repro.hpc.executor import ExecutorConfig, map_jobs
 from repro.ml.knowledge import GridRecord, KnowledgeBase
+from repro.qaoa.analytic import angle_axes
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.engine import DEFAULT_CHUNK_SIZE, SweepEngine
 from repro.qaoa.params import default_iterations
@@ -250,15 +251,16 @@ class GridSearchResult:
 
 
 # ---------------------------------------------------------------------------
-# The (γ, β) angle-grid sweep (p=1 energy landscape)
+# The (γ, β) angle-grid sweep (energy landscapes, any depth)
 # ---------------------------------------------------------------------------
 @dataclass
 class AngleGridResult:
-    """A full p=1 (γ, β) energy landscape over one graph.
+    """A full (γ, β) energy landscape over one graph.
 
-    ``energies[i, j] = F_1(γ=gammas[i], β=betas[j])``; the best point is the
-    flat-argmax (first occurrence), so loop and batched evaluations of the
-    same grid resolve ties identically.
+    ``energies[i, j] = F_p(γ=gammas[i], β=betas[j])`` — 1-D axes are the
+    classic p=1 landscape, ``(rows, p)`` axes pair per-layer schedules.
+    The best point is the flat-argmax (first occurrence), so loop and
+    batched evaluations of the same grid resolve ties identically.
     """
 
     gammas: np.ndarray
@@ -270,7 +272,7 @@ class AngleGridResult:
     @property
     def best_index(self) -> Tuple[int, int]:
         flat = int(np.argmax(self.energies))
-        return flat // len(self.betas), flat % len(self.betas)
+        return flat // self.energies.shape[1], flat % self.energies.shape[1]
 
     @property
     def best_energy(self) -> float:
@@ -279,23 +281,22 @@ class AngleGridResult:
 
     @property
     def best_params(self) -> np.ndarray:
-        """Winning ``[γ, β]`` vector (the repo's gammas-first packing)."""
+        """Winning ``[γ_1..γ_p, β_1..β_p]`` vector (gammas-first packing)."""
         i, j = self.best_index
-        return np.array([self.gammas[i], self.betas[j]], dtype=np.float64)
+        return np.concatenate(
+            [np.atleast_1d(self.gammas[i]), np.atleast_1d(self.betas[j])]
+        ).astype(np.float64)
 
 
 def default_angle_axes(resolution: int = 24) -> Tuple[np.ndarray, np.ndarray]:
-    """Standard landscape axes: γ ∈ [0, π), β ∈ [0, π/2).
+    """Standard p=1 landscape axes: γ ∈ [0, π), β ∈ [0, π/2).
 
     Both unitaries are periodic over these ranges for integer-weight graphs,
     so the open intervals cover the landscape without duplicating the
-    endpoint column/row.
+    endpoint column/row.  (Delegates to :func:`repro.qaoa.analytic.angle_axes`
+    so the RQAOA seeding grid and the experiments share one definition.)
     """
-    if resolution < 1:
-        raise ValueError("resolution must be positive")
-    gammas = np.linspace(0.0, np.pi, resolution, endpoint=False)
-    betas = np.linspace(0.0, np.pi / 2, resolution, endpoint=False)
-    return gammas, betas
+    return angle_axes(resolution)
 
 
 def run_angle_grid(
@@ -308,13 +309,16 @@ def run_angle_grid(
     engine: Optional[SweepEngine] = None,
     method: str = "batched",
 ) -> AngleGridResult:
-    """Evaluate the p=1 QAOA energy over a full (γ, β) grid.
+    """Evaluate the QAOA energy over a full (γ, β) grid.
 
-    ``method="batched"`` (default) flattens the grid into one chunked batch
-    on a :class:`~repro.qaoa.engine.SweepEngine`.  ``method="loop"`` is the
-    original per-point double Python loop over
-    :meth:`~repro.qaoa.energy.MaxCutEnergy.expectation`, kept as the
-    cross-validation reference and benchmark baseline.
+    Axes may be 1-D (p=1, the default landscape) or ``(rows, p)`` per-layer
+    schedules (p ≥ 2).  ``method="batched"`` (default) routes through
+    :meth:`SweepEngine.angle_grid` with automatic tier selection — the
+    closed-form analytic path for p=1, chunked generic batches for deeper
+    grids.  ``"analytic"`` and ``"spectral"`` force the p=1 tiers
+    explicitly; ``method="loop"`` is the original per-point double Python
+    loop over :meth:`~repro.qaoa.energy.MaxCutEnergy.expectation`, kept as
+    the cross-validation reference and benchmark baseline.
     """
     if gammas is None or betas is None:
         default_g, default_b = default_angle_axes(resolution)
@@ -325,15 +329,20 @@ def run_angle_grid(
     if engine is not None and engine.graph is not graph:
         raise ValueError("engine was built for a different graph")
     start = time.perf_counter()
-    if method == "batched":
+    if method in ("batched", "analytic", "spectral"):
         engine = engine or SweepEngine(graph, chunk_size=chunk_size)
-        energies = engine.angle_grid(gammas, betas)
+        tier = "auto" if method == "batched" else method
+        energies = engine.angle_grid(gammas, betas, method=tier)
     elif method == "loop":
         energy = MaxCutEnergy(graph)
-        energies = np.empty((len(gammas), len(betas)), dtype=np.float64)
-        for i, gamma in enumerate(gammas):
-            for j, beta in enumerate(betas):
-                energies[i, j] = energy.expectation(np.array([gamma, beta]))
+        g2d = gammas[:, None] if gammas.ndim == 1 else gammas
+        b2d = betas[:, None] if betas.ndim == 1 else betas
+        energies = np.empty((g2d.shape[0], b2d.shape[0]), dtype=np.float64)
+        for i, gamma_row in enumerate(g2d):
+            for j, beta_row in enumerate(b2d):
+                energies[i, j] = energy.expectation(
+                    np.concatenate([gamma_row, beta_row])
+                )
     else:
         raise ValueError(f"unknown angle-grid method {method!r}")
     return AngleGridResult(

@@ -10,7 +10,7 @@ transcription is internally consistent (shapes, value ranges, the
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

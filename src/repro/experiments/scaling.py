@@ -18,7 +18,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.classical.gw import GWAbnormalTermination, goemans_williamson
 from repro.graphs.generators import erdos_renyi
@@ -45,7 +44,11 @@ class ScalingConfig:
     sub-graph reuses that engine's cached cut diagonal.  ``n_starts > 1``
     additionally runs every variational loop as lock-step multi-start —
     with ``"optimizer": "spsa"`` in ``qaoa_options`` each iteration is one
-    batched ``(2·n_starts, 2p)`` engine evaluation.
+    batched ``(2·n_starts, 2p)`` engine evaluation.  With
+    ``{"layers": 1}`` in ``qaoa_options`` (or in a ``qaoa_grid`` entry)
+    the sub-graph objectives drop to the closed-form analytic tier
+    (:mod:`repro.qaoa.analytic`) — exact energies with no statevector, so
+    the per-solve cost no longer scales with 2**n_max_qubits.
     """
 
     node_counts: Sequence[int] = (60, 120, 180)

@@ -10,7 +10,6 @@ types" outlook from the conclusion.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -12,7 +12,6 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
-import numpy as np
 
 from repro.graphs.graph import Graph
 

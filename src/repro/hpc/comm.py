@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 ANY_SOURCE = -1

@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 BACKENDS = ("serial", "thread", "process")
 

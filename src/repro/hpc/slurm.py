@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.hpc.trace import Interval, ResourceTrace, busy_span, render_gantt
+from repro.hpc.trace import Interval, ResourceTrace, render_gantt
 
 
 @dataclass(frozen=True)

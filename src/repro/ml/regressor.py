@@ -17,7 +17,7 @@ grid-search/knowledge-base outcomes, plus the end-to-end
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -1,6 +1,7 @@
 """QAOA core: fast energy evaluation, the batched sweep engine, parameter
 strategies, the solver and the recursive-QAOA extension."""
 
+from repro.qaoa.analytic import AnalyticP1Energy, angle_axes
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.engine import (
     ScratchPool,
@@ -20,6 +21,8 @@ from repro.qaoa.rqaoa import RQAOAResult, rqaoa_solve
 from repro.qaoa.solver import QAOAResult, QAOASolver, solve_maxcut_qaoa
 
 __all__ = [
+    "AnalyticP1Energy",
+    "angle_axes",
     "MaxCutEnergy",
     "ScratchPool",
     "SweepEngine",

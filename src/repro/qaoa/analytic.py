@@ -1,0 +1,201 @@
+"""Closed-form p=1 QAOA MaxCut energies — no statevector required.
+
+For depth p=1 the QAOA expectation ⟨C⟩(γ, β) is known in closed form
+(Wang et al., PRA 97, 022304; Ozaeta et al. for the weighted case).  With
+the repo's conventions — cost layer ``exp(-iγ·C)`` over the cut diagonal,
+mixer ``exp(-iβ ΣX)`` — and weighted adjacency ``A`` the per-edge pieces
+collapse to two β harmonics:
+
+    F(γ, β) = W/2 + sin(4β) · S(γ) + sin²(2β) · T(γ)
+
+    S(γ) = ¼ Σ_e w_e sin(γ w_e) · (Π_u + Π_v)
+    T(γ) = ¼ Σ_e w_e · (Π⁺ − Π⁻)
+
+    Π_u  = Π_{k ≠ v} cos(γ A[u, k])        (and symmetrically Π_v)
+    Π^± = Π_{k ∉ {u, v}} cos(γ (A[u, k] ± A[v, k]))
+
+Non-edges contribute ``cos(0) = 1``, so every product runs over a dense
+adjacency row and only the endpoint columns need masking.  One energy costs
+O(E·n) — *independent of 2^n* — which removes the statevector memory wall
+from large sub-graph p=1 sweeps entirely.  The β axis separates from the γ
+axis, so a full (γ, β) angle grid costs one S/T pass over the γ axis plus
+an outer product: O(G·E·n + G·B).
+
+:class:`AnalyticP1Energy` is the third :class:`repro.qaoa.engine.SweepEngine`
+evaluation tier (analytic p=1 → spectral grid → chunked generic batches) and
+backs the p=1 objectives of :class:`repro.qaoa.solver.QAOASolver`, the QAOA²
+sub-graph option grid, and RQAOA's round-0 angle seeding.  Agreement with
+the statevector paths is pinned to ≤1e-9 in ``tests/test_analytic_p1.py``
+and measured by ``benchmarks/bench_analytic_p1.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+# Target size of the (γ-chunk, edge-chunk, n) cosine scratch block.  The
+# terms pass streams four such products per chunk; past a few MiB wider
+# chunks stop helping (same ufunc traffic, colder cache).
+TERMS_BUDGET_BYTES = 8 * 1024 * 1024
+
+
+def angle_axes(resolution: int = 24) -> Tuple[np.ndarray, np.ndarray]:
+    """Standard p=1 landscape axes: γ ∈ [0, π), β ∈ [0, π/2).
+
+    Both unitaries are periodic over these open ranges for integer-weight
+    graphs, so the grid covers the landscape without duplicating the
+    endpoint row/column.  (:func:`repro.experiments.gridsearch.default_angle_axes`
+    delegates here.)
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+    gammas = np.linspace(0.0, np.pi, resolution, endpoint=False)
+    betas = np.linspace(0.0, np.pi / 2, resolution, endpoint=False)
+    return gammas, betas
+
+
+class AnalyticP1Energy:
+    """Vectorised closed-form p=1 evaluator for one graph.
+
+    Caches the dense endpoint rows of the weighted adjacency once; every
+    call is then pure ufunc work, chunked over (γ, edges) so the scratch
+    block stays within ``TERMS_BUDGET_BYTES`` regardless of grid size.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.n_nodes < 1:
+            raise ValueError("graph must have at least one node")
+        self.graph = graph
+        self.n_nodes = graph.n_nodes
+        self.total_weight = float(graph.w.sum()) if graph.n_edges else 0.0
+        adjacency = graph.adjacency()
+        # (E, n) dense rows for the two endpoints of every edge; sums and
+        # differences feed the Π± products.
+        self._rows_u = adjacency[graph.u]
+        self._rows_v = adjacency[graph.v]
+        self._rows_sum = self._rows_u + self._rows_v
+        self._rows_diff = self._rows_u - self._rows_v
+        self._u = graph.u
+        self._v = graph.v
+        self._w = graph.w
+
+    # ------------------------------------------------------------------
+    def terms(self, gammas: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The β-independent harmonics ``(S(γ), T(γ))`` for a 1-D γ axis.
+
+        ``F(γ, β) = W/2 + sin(4β)·S(γ) + sin²(2β)·T(γ)`` — callers close
+        the β axis themselves (outer product for grids, elementwise for
+        per-row batches).
+        """
+        gammas = np.asarray(gammas, dtype=np.float64)
+        if gammas.ndim != 1:
+            raise ValueError(f"gammas must be 1-D, got ndim={gammas.ndim}")
+        n_edges = self.graph.n_edges
+        s_term = np.zeros(len(gammas), dtype=np.float64)
+        t_term = np.zeros(len(gammas), dtype=np.float64)
+        if n_edges == 0 or len(gammas) == 0:
+            return s_term, t_term
+        n = self.n_nodes
+        edge_rows = max(1, TERMS_BUDGET_BYTES // (8 * n * max(1, len(gammas))))
+        gamma_rows = len(gammas)
+        if edge_rows < 4 and n_edges >= 4:
+            # Very wide γ axes: chunk γ instead so at least a few edges
+            # vectorise per pass.
+            edge_rows = 4
+            gamma_rows = max(1, TERMS_BUDGET_BYTES // (8 * n * edge_rows))
+        for g0 in range(0, len(gammas), gamma_rows):
+            g1 = min(g0 + gamma_rows, len(gammas))
+            gamma_chunk = gammas[g0:g1]
+            for e0 in range(0, n_edges, edge_rows):
+                e1 = min(e0 + edge_rows, n_edges)
+                s_part, t_part = self._terms_block(gamma_chunk, e0, e1)
+                s_term[g0:g1] += s_part
+                t_term[g0:g1] += t_part
+        return s_term, t_term
+
+    def _terms_block(
+        self, gammas: np.ndarray, e0: int, e1: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """S/T contributions of edges ``[e0, e1)`` for one γ chunk."""
+        edge_idx = np.arange(e1 - e0)
+        u_cols = self._u[e0:e1]
+        v_cols = self._v[e0:e1]
+        weights = self._w[e0:e1]
+        scratch = np.empty((len(gammas), e1 - e0, self.n_nodes))
+
+        def masked_product(rows: np.ndarray, *cols: np.ndarray) -> np.ndarray:
+            # Π_k cos(γ · rows[e, k]) with the given endpoint columns
+            # forced to 1 (the closed form excludes them; non-edges are
+            # already cos(0) = 1).
+            np.multiply.outer(gammas, rows, out=scratch)
+            np.cos(scratch, out=scratch)
+            for col in cols:
+                scratch[:, edge_idx, col] = 1.0
+            return scratch.prod(axis=2)
+
+        pi_u = masked_product(self._rows_u[e0:e1], v_cols)
+        pi_v = masked_product(self._rows_v[e0:e1], u_cols)
+        sin_gw = np.sin(np.multiply.outer(gammas, weights))
+        s_part = 0.25 * ((weights * sin_gw) * (pi_u + pi_v)).sum(axis=1)
+        pi_plus = masked_product(self._rows_sum[e0:e1], u_cols, v_cols)
+        pi_minus = masked_product(self._rows_diff[e0:e1], u_cols, v_cols)
+        t_part = 0.25 * (weights * (pi_plus - pi_minus)).sum(axis=1)
+        return s_part, t_part
+
+    # ------------------------------------------------------------------
+    def grid(self, gammas: np.ndarray, betas: np.ndarray) -> np.ndarray:
+        """Full landscape: ``out[i, j] = F_1(γ=gammas[i], β=betas[j])``."""
+        gammas = np.asarray(gammas, dtype=np.float64)
+        betas = np.asarray(betas, dtype=np.float64)
+        if gammas.ndim != 1 or betas.ndim != 1:
+            raise ValueError("gammas and betas must be 1-D angle axes")
+        s_term, t_term = self.terms(gammas)
+        return (
+            self.total_weight / 2.0
+            + np.multiply.outer(s_term, np.sin(4.0 * betas))
+            + np.multiply.outer(t_term, np.sin(2.0 * betas) ** 2)
+        )
+
+    def energies(self, params_matrix: np.ndarray) -> np.ndarray:
+        """F_1 for every ``[γ, β]`` row of a ``(B, 2)`` matrix."""
+        mat = np.asarray(params_matrix, dtype=np.float64)
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        if mat.ndim != 2 or mat.shape[1] != 2:
+            raise ValueError(
+                f"analytic path is p=1 only: expected (B, 2) parameter "
+                f"rows, got shape {mat.shape}"
+            )
+        s_term, t_term = self.terms(mat[:, 0])
+        betas = mat[:, 1]
+        return (
+            self.total_weight / 2.0
+            + np.sin(4.0 * betas) * s_term
+            + np.sin(2.0 * betas) ** 2 * t_term
+        )
+
+    def energy(self, params: np.ndarray) -> float:
+        """Single ``[γ, β]`` convenience wrapper over :meth:`energies`."""
+        return float(self.energies(np.asarray(params))[0])
+
+    # ------------------------------------------------------------------
+    def best_seed(self, resolution: int = 16) -> Tuple[np.ndarray, float]:
+        """Best ``[γ, β]`` over the standard axes, plus its energy.
+
+        The statevector-free warm start used by RQAOA's round-0 angle
+        seeding; flat argmax (first occurrence) so the seed is
+        deterministic for degenerate landscapes.
+        """
+        gammas, betas = angle_axes(resolution)
+        grid = self.grid(gammas, betas)
+        flat = int(np.argmax(grid))
+        i, j = flat // len(betas), flat % len(betas)
+        seed = np.array([gammas[i], betas[j]], dtype=np.float64)
+        return seed, float(grid[i, j])
+
+
+__all__ = ["AnalyticP1Energy", "TERMS_BUDGET_BYTES", "angle_axes"]

@@ -44,6 +44,7 @@ class MaxCutEnergy:
         if self.diagonal.shape != (1 << self.n_qubits,):
             raise ValueError("diagonal length does not match the graph")
         self._engine = None  # lazy SweepEngine for the batch path
+        self._analytic = None  # lazy AnalyticP1Energy for the p=1 fast path
 
     # ------------------------------------------------------------------
     def split_params(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -113,6 +114,32 @@ class MaxCutEnergy:
     def statevectors_batch(self, params_matrix: np.ndarray) -> np.ndarray:
         """|ψ_p⟩ for every row of a ``(B, 2p)`` parameter matrix."""
         return self.engine().statevectors(params_matrix)
+
+    # ------------------------------------------------------------------
+    @property
+    def analytic(self):
+        """Closed-form p=1 evaluator for this graph (lazy; shares the
+        attached engine's instance when one is present).  See
+        :class:`repro.qaoa.analytic.AnalyticP1Energy`."""
+        if self._engine is not None:
+            return self._engine.analytic
+        if self._analytic is None:
+            from repro.qaoa.analytic import AnalyticP1Energy
+
+            self._analytic = AnalyticP1Energy(self.graph)
+        return self._analytic
+
+    def analytic_expectation(self, params: np.ndarray) -> float:
+        """Exact F_1(γ, β) via the closed form — O(E·n), no statevector.
+
+        p=1 only; agrees with :meth:`expectation` to ~1e-13 (pinned in
+        ``tests/test_analytic_p1.py``).
+        """
+        return self.analytic.energy(params)
+
+    def analytic_energies(self, params_matrix: np.ndarray) -> np.ndarray:
+        """Closed-form F_1 for every ``[γ, β]`` row of a ``(B, 2)`` matrix."""
+        return self.analytic.energies(params_matrix)
 
     # ------------------------------------------------------------------
     def max_cut_upper_bound(self) -> float:

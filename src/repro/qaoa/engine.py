@@ -36,6 +36,20 @@ live in a process-wide pool keyed by shape, so repeated engines over
 equal-sized graphs (the QAOA² partition loop) reuse the same
 allocations.
 
+Evaluation tiers
+----------------
+Three tiers, cheapest first, picked automatically where exact energies
+suffice:
+
+1. **analytic** (p=1): the closed-form ⟨C⟩(γ, β) of
+   :mod:`repro.qaoa.analytic` — O(E·n) per point, *no statevector*, so
+   large-graph p=1 angle grids have no 2**n memory wall at all.
+2. **spectral** (p=1 grids): mixer-eigenbasis statevector evaluation
+   (:meth:`SweepEngine._angle_grid_spectral`), kept as the exact
+   statevector cross-check of tier 1.
+3. **generic**: chunked ``(B, 2**n)`` statevector batches — any depth,
+   and the only tier that can hand back states (``statevectors``).
+
 Consumers
 ---------
 Every QAOA evaluator in the repo now routes through this engine: the
@@ -59,6 +73,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import cut_diagonal
+from repro.qaoa.analytic import AnalyticP1Energy
 from repro.quantum.statevector import (
     apply_phases_batch,
     apply_rx_layer,
@@ -166,11 +181,43 @@ class SweepEngine:
             raise ValueError("chunk_size must be positive")
         self.graph = graph
         self.n_qubits = graph.n_nodes
-        self.diagonal = diagonal if diagonal is not None else cut_diagonal(graph)
-        if self.diagonal.shape != (1 << self.n_qubits,):
+        if diagonal is not None and diagonal.shape != (1 << self.n_qubits,):
             raise ValueError("diagonal length does not match the graph")
+        # Built lazily: the analytic tier never touches the 2**n diagonal,
+        # so a p=1 angle grid on a graph far past the statevector wall must
+        # not allocate it as a construction side effect.
+        self._diagonal = diagonal
         self.chunk_size = chunk_size
         self.pool = pool if pool is not None else _SHARED_POOL
+        self._analytic: Optional[AnalyticP1Energy] = None
+
+    @property
+    def diagonal(self) -> np.ndarray:
+        """The graph's 2**n cut diagonal (cached; built on first use by a
+        statevector tier — caller-provided diagonals are validated and
+        shared eagerly)."""
+        if self._diagonal is None:
+            self._diagonal = cut_diagonal(self.graph)
+        return self._diagonal
+
+    @property
+    def analytic(self) -> AnalyticP1Energy:
+        """The closed-form p=1 evaluator for this graph (built lazily).
+
+        The engine's third evaluation tier: exact F_1 in O(E·n) per point
+        with no 2**n statevector at all — see :mod:`repro.qaoa.analytic`.
+        """
+        if self._analytic is None:
+            self._analytic = AnalyticP1Energy(self.graph)
+        return self._analytic
+
+    def energies_analytic(self, params_matrix: np.ndarray) -> np.ndarray:
+        """Closed-form F_1 for every ``[γ, β]`` row of a ``(B, 2)`` matrix.
+
+        Statevector-free; raises for p ≥ 2 rows (those go through
+        :meth:`energies`).  Agrees with :meth:`energies` to ~1e-13.
+        """
+        return self.analytic.energies(params_matrix)
 
     # ------------------------------------------------------------------
     def _params_matrix(self, params_matrix: np.ndarray) -> np.ndarray:
@@ -237,28 +284,87 @@ class SweepEngine:
         return out
 
     # ------------------------------------------------------------------
-    def angle_grid(self, gammas: np.ndarray, betas: np.ndarray) -> np.ndarray:
-        """p=1 energy landscape: ``out[i, j] = F_1(γ=gammas[i], β=betas[j])``.
+    @staticmethod
+    def _angle_grid_axes(
+        gammas: np.ndarray, betas: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Validate/canonicalise angle-grid axes to 2-D ``(G, p)``/``(B, p)``.
 
-        This is the (γ, β) grid of the paper's landscape-style sweeps.
-        Where memory allows, the grid is evaluated in the mixer eigenbasis
-        (:meth:`_angle_grid_spectral`): one Walsh–Hadamard transform per γ
-        chunk plus a few masked dot products per edge, after which the
-        whole β axis is closed-form — the mixer is never applied per grid
-        point.  Otherwise the grid is flattened into one chunked generic
-        batch.  Both paths agree with the per-point loop to ~1e-13.
+        1-D axes mean p=1; 2-D axes carry one angle per layer per row.  The
+        two axes must agree on p — mixing a 1-D axis with a p≥2 axis (or
+        passing higher-rank arrays) raises instead of being silently
+        misread as p=1 input, which is what the old code did.
         """
         gammas = np.asarray(gammas, dtype=np.float64)
         betas = np.asarray(betas, dtype=np.float64)
-        if gammas.ndim != 1 or betas.ndim != 1:
-            raise ValueError("gammas and betas must be 1-D angle grids")
-        if len(gammas) == 0 or len(betas) == 0:
-            return np.zeros((len(gammas), len(betas)), dtype=np.float64)
-        if spectral_row_bytes(self.n_qubits) <= SPECTRAL_BUDGET_BYTES:
-            return self._angle_grid_spectral(gammas, betas)
-        gg, bb = np.meshgrid(gammas, betas, indexing="ij")
-        mat = np.column_stack([gg.ravel(), bb.ravel()])
-        return self.energies(mat).reshape(len(gammas), len(betas))
+        if gammas.ndim not in (1, 2) or betas.ndim not in (1, 2):
+            raise ValueError(
+                f"angle axes must be 1-D (p=1) or (rows, p) 2-D arrays, "
+                f"got gammas ndim={gammas.ndim}, betas ndim={betas.ndim}"
+            )
+        if gammas.ndim == 1:
+            gammas = gammas[:, None]
+        if betas.ndim == 1:
+            betas = betas[:, None]
+        if gammas.shape[1] != betas.shape[1]:
+            raise ValueError(
+                f"gammas carry p={gammas.shape[1]} layer(s) per row but "
+                f"betas carry p={betas.shape[1]} — both axes must use the "
+                f"same ansatz depth"
+            )
+        if gammas.shape[1] == 0:
+            raise ValueError("angle axes must have at least one layer")
+        return gammas, betas, gammas.shape[1]
+
+    def angle_grid(
+        self,
+        gammas: np.ndarray,
+        betas: np.ndarray,
+        *,
+        method: str = "auto",
+    ) -> np.ndarray:
+        """Energy landscape ``out[i, j] = F_p(γ=gammas[i], β=betas[j])``.
+
+        This is the (γ, β) product grid of the paper's landscape-style
+        sweeps, now at any depth: 1-D axes are the classic p=1 landscape;
+        ``(G, p)``/``(B, p)`` axes pair row ``i`` of per-layer γs with row
+        ``j`` of per-layer βs.
+
+        Evaluation tiers (``method="auto"``):
+
+        * ``analytic`` — p=1 only: the closed form of
+          :mod:`repro.qaoa.analytic`, O(E·n) per γ with the β axis an
+          outer product.  No statevector, no 2**n memory wall.
+        * ``spectral`` — p=1 only: the mixer-eigenbasis statevector path
+          (:meth:`_angle_grid_spectral`), kept as the exact-statevector
+          cross-check of the analytic tier.
+        * ``batched`` — any p: the product grid flattened into one chunked
+          generic :meth:`energies` batch.
+
+        ``auto`` picks ``analytic`` for p=1 and ``batched`` otherwise; all
+        tiers agree to ~1e-13 (pinned in tests).
+        """
+        gammas, betas, p = self._angle_grid_axes(gammas, betas)
+        n_g, n_b = gammas.shape[0], betas.shape[0]
+        if method == "auto":
+            method = "analytic" if p == 1 else "batched"
+        if method in ("analytic", "spectral") and p != 1:
+            raise ValueError(
+                f"the {method!r} tier supports p=1 only, got p={p}; use "
+                f"method='batched' (or 'auto') for deeper grids"
+            )
+        if n_g == 0 or n_b == 0:
+            return np.zeros((n_g, n_b), dtype=np.float64)
+        if method == "analytic":
+            return self.analytic.grid(gammas[:, 0], betas[:, 0])
+        if method == "spectral":
+            return self._angle_grid_spectral(gammas[:, 0], betas[:, 0])
+        if method == "batched":
+            mat = np.empty((n_g * n_b, 2 * p), dtype=np.float64)
+            mat[:, :p] = np.repeat(gammas, n_b, axis=0)
+            mat[:, p:] = np.tile(betas, (n_g, 1))
+            return self.energies(mat).reshape(n_g, n_b)
+        raise ValueError(f"unknown angle-grid method {method!r}")
 
     def _angle_grid_spectral(
         self, gammas: np.ndarray, betas: np.ndarray

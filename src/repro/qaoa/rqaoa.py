@@ -20,6 +20,11 @@ evaluates *all* candidate edges in one pass over |ψ|²
 (:func:`repro.quantum.pauli.zz_correlations_batch`) instead of a per-pair
 Python loop.  ``batched=False`` keeps the original point-by-point path as a
 parity and benchmark reference (``benchmarks/bench_rqaoa_engine.py``).
+
+Round 0 additionally warm-starts from the closed-form p=1 angle grid over
+the full input graph (``angle_seed``): the analytic evaluator never builds
+a statevector, so the seed costs O(E·n) per angle even on graphs far past
+the 2**n simulation wall.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import CutResult, cut_value, exact_maxcut_bruteforce
+from repro.qaoa.analytic import AnalyticP1Energy
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.engine import SweepEngine
 from repro.qaoa.solver import QAOASolver
@@ -45,6 +51,8 @@ CONTRACT_RTOL = 1e-9
 # batched GEMM and per-pair correlation kernels agree only to ~1e-15, so a
 # raw argmax would let sub-ULP kernel noise pick different edges.
 TIE_RTOL = 1e-9
+# Axis resolution of the round-0 analytic (γ, β) seeding grid.
+SEED_RESOLUTION = 16
 
 
 def _select_edge(corr: np.ndarray) -> Tuple[int, int]:
@@ -134,6 +142,7 @@ def rqaoa_solve(
     rng: RngLike = None,
     n_starts: int = 1,
     batched: bool = True,
+    angle_seed: bool = True,
     solver_options: Optional[dict] = None,
 ) -> RQAOAResult:
     """Solve MaxCut with recursive QAOA.
@@ -161,6 +170,16 @@ def rqaoa_solve(
         the original point-by-point path (per-point statevector, per-pair
         Python correlation loop) — identical results, kept as the parity
         and benchmark reference.
+    angle_seed:
+        True (default): the round-0 variational loop is warm-started from
+        the best point of a closed-form p=1 (γ, β) angle grid over the
+        *full* input graph (:class:`repro.qaoa.analytic.AnalyticP1Energy`
+        — statevector-free, so the seeding grid costs O(E·n) per angle
+        even when 2**n statevectors would not fit).  The p=1 seed is
+        re-interpolated onto the solver's depth; deeper rounds keep the
+        solver's configured init.  The seed is computed once, before the
+        batched/pointwise split, so both paths stay in lockstep.
+        Skipped when the caller already warm-starts the solver.
     """
     gen = ensure_rng(rng)
     if solver is None:
@@ -175,6 +194,12 @@ def rqaoa_solve(
     }
     eliminations: List[Tuple[int, int, int]] = []
 
+    round0_solver = solver
+    if angle_seed and graph.n_edges and solver.init != "warm":
+        seed_params, _ = AnalyticP1Energy(graph).best_seed(SEED_RESOLUTION)
+        round0_solver = replace(solver, init="warm", warm_start=seed_params)
+
+    first_round = True
     while len(active) > max(n_cutoff, 1) and weights:
         label = {node: i for i, node in enumerate(active)}
         # Canonical (sorted) edge order keeps the argmax tie-break below
@@ -182,6 +207,8 @@ def rqaoa_solve(
         edges = [(label[a], label[b], w) for (a, b), w in sorted(weights.items())]
         current = Graph.from_edges(len(active), edges)
         pairs = list(zip(current.u.tolist(), current.v.tolist()))
+        round_solver = round0_solver if first_round else solver
+        first_round = False
         if batched:
             # One engine per round: the cached cut diagonal and pooled
             # buffers back the variational loop, and the solver's final
@@ -189,11 +216,13 @@ def rqaoa_solve(
             # re-evolve — the pre-refactor path rebuilt the diagonal AND
             # the state a second time).
             engine = SweepEngine(current)
-            result = replace(solver, engine=engine, keep_state=True).solve(current)
+            result = replace(round_solver, engine=engine, keep_state=True).solve(
+                current
+            )
             state = result.extra["final_state"]
             corr = zz_correlations_batch(state, pairs)
         else:
-            result = solver.solve(current)
+            result = round_solver.solve(current)
             state = MaxCutEnergy(current).statevector(result.params)
             corr = _zz_correlations_pointwise(state, pairs)
         best_edge, sign = _select_edge(corr)
@@ -221,7 +250,11 @@ def rqaoa_solve(
         assignment=assignment,
         cut=cut_value(graph, assignment),
         eliminations=eliminations,
-        extra={"n_eliminated": len(eliminations), "batched": batched},
+        extra={
+            "n_eliminated": len(eliminations),
+            "batched": batched,
+            "angle_seed": round0_solver is not solver,
+        },
     )
 
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.graphs.maxcut import CutResult, bitstring_to_assignment, cut_value
+from repro.graphs.maxcut import CutResult, bitstring_to_assignment
 from repro.optim import minimize, multi_start_spsa, spsa_perturbation_from_rhobeg
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.params import default_iterations, initial_parameters
@@ -82,6 +82,16 @@ class QAOASolver:
         a vectorised ``(B, 2p) -> (B,)`` batch objective backed by the
         sweep engine.  Set False to force point-by-point evaluation — the
         parity/benchmark reference path.
+    analytic:
+        ``"auto"`` (default): with ``layers=1``, an exact-statevector
+        objective is evaluated through the closed-form p=1 fast path
+        (:mod:`repro.qaoa.analytic`) — O(E·n) per evaluation, no 2**n
+        statevector — for both the point and batched objectives, so
+        ``batched=True/False`` parity is preserved.  ``False`` forces the
+        statevector objective at every depth (the cross-validation
+        reference); ``True`` requires ``layers=1`` and an exact objective.
+        Sampled, noisy, and p≥2 objectives always use statevectors, as
+        does the final solution-selection state.
     keep_state:
         Store the final statevector in ``result.extra["final_state"]`` so
         downstream consumers (RQAOA's correlation sweep) reuse it instead
@@ -111,6 +121,7 @@ class QAOASolver:
     init: str = "ramp"
     n_starts: int = 1
     batched: bool = True
+    analytic: object = "auto"  # "auto" | True | False
     keep_state: bool = False
     warm_start: Optional[np.ndarray] = None
     noise: Optional[object] = None  # repro.quantum.noise.NoiseModel
@@ -146,6 +157,7 @@ class QAOASolver:
         )
 
         neg_fp_batch = None
+        use_analytic = self._use_analytic()  # validates the knob up front
         if self.noise is not None and not self.noise.is_trivial():
             from repro.quantum.noise import noisy_expectation
 
@@ -155,15 +167,29 @@ class QAOASolver:
                     trajectories=self.noise_trajectories, rng=gen,
                 )
         elif self.objective == "statevector":
-            def neg_fp(params: np.ndarray) -> float:
-                return -energy.expectation(params)
+            if use_analytic:
+                # p=1 closed form: exact energies with no statevector at
+                # all.  Both the point and batch objectives go through it,
+                # so the batched=False parity path stays bit-identical.
+                analytic = energy.analytic
 
-            # Exact objectives can be evaluated in batch (SPSA's ± pairs,
-            # one row per start); shot-sampled and noisy objectives stay
-            # per-point because each evaluation consumes generator state.
-            if self.batched:
-                def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
-                    return -energy.energies_batch(params_matrix)
+                def neg_fp(params: np.ndarray) -> float:
+                    return -analytic.energy(params)
+
+                if self.batched:
+                    def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+                        return -analytic.energies(params_matrix)
+            else:
+                def neg_fp(params: np.ndarray) -> float:
+                    return -energy.expectation(params)
+
+                # Exact objectives can be evaluated in batch (SPSA's ±
+                # pairs, one row per start); shot-sampled and noisy
+                # objectives stay per-point because each evaluation
+                # consumes generator state.
+                if self.batched:
+                    def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+                        return -energy.energies_batch(params_matrix)
         elif self.objective == "sampled":
             def neg_fp(params: np.ndarray) -> float:
                 return -energy.sampled_expectation(params, self.shots, rng=gen)
@@ -192,6 +218,30 @@ class QAOASolver:
             selection=self.selection,
             extra=selection_info,
         )
+
+    # ------------------------------------------------------------------
+    def _use_analytic(self) -> bool:
+        """Whether the exact objective routes through the p=1 closed form."""
+        if self.analytic is False:
+            return False
+        if self.analytic is True:
+            if self.layers != 1:
+                raise ValueError(
+                    f"analytic=True requires layers=1, got layers={self.layers}"
+                )
+            if self.objective != "statevector":
+                raise ValueError(
+                    "analytic=True requires the exact 'statevector' objective"
+                )
+            if self.noise is not None and not self.noise.is_trivial():
+                raise ValueError(
+                    "analytic=True is incompatible with a noise model (the "
+                    "closed form is noiseless)"
+                )
+            return True
+        if self.analytic != "auto":
+            raise ValueError(f"unknown analytic mode {self.analytic!r}")
+        return self.layers == 1
 
     # ------------------------------------------------------------------
     def _optimize(self, neg_fp, neg_fp_batch, x0, maxiter, gen):

@@ -29,7 +29,7 @@ property-tested in ``tests/test_qaoa2_merge.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ three mechanisms are implemented here as callables plugging straight into
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
 
 from repro.graphs.graph import Graph
 

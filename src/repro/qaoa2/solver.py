@@ -115,7 +115,9 @@ def _solve_subgraph_job(payload: dict) -> dict:
         # One engine per sub-graph: the cut diagonal is built once and every
         # config in the option grid (and every optimizer iteration) reuses
         # it; the engine's pooled buffers are additionally shared across
-        # equal-sized partitions solved by the same worker.
+        # equal-sized partitions solved by the same worker.  Grid entries
+        # with layers=1 automatically drop to the solver's closed-form
+        # analytic objective (no statevector until solution selection).
         engine = SweepEngine(graph)
         configs = qaoa_grid if qaoa_grid else [{}]
         best: Optional[CutResult] = None

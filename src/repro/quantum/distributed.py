@@ -25,12 +25,11 @@ reproduces the paper's "33 qubits ≈ 10 minutes on 512 nodes" observation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List
 
 import numpy as np
 
-from repro.quantum.statevector import plus_state, zero_state
 
 
 @dataclass

@@ -16,7 +16,7 @@ trajectories — exactly how shot-based simulators model noise cheaply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 

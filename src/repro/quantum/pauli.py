@@ -12,7 +12,7 @@ solver share :func:`repro.graphs.maxcut.cut_diagonal`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 import numpy as np
 

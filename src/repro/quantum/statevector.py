@@ -15,7 +15,7 @@ operation across the whole batch (see :mod:`repro.qaoa.engine`).
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.quantum.circuit import Circuit, Instruction, ParamRef
 from repro.synth.model import CombinatorialModel, OptimizationTarget, Preferences

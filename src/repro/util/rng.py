@@ -8,7 +8,7 @@ call sites one-liners and guarantees reproducibility when a seed is given.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,9 +1,8 @@
 """Unit tests for repro.quantum.circuit."""
 
-import numpy as np
 import pytest
 
-from repro.quantum.circuit import Circuit, Instruction, ParamRef
+from repro.quantum.circuit import Circuit, ParamRef
 
 
 class TestBuilder:

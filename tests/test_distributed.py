@@ -9,7 +9,7 @@ from repro.quantum.distributed import (
     DistributedStatevector,
     MachineModel,
 )
-from repro.quantum.gates import H, rx
+from repro.quantum.gates import rx
 from repro.quantum.statevector import apply_gate, apply_rx_layer, plus_state
 
 

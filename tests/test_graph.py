@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import Graph, erdos_renyi
+from repro.graphs import Graph
 
 
 class TestConstruction:

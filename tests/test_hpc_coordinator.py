@@ -1,6 +1,5 @@
 """Unit tests for the Fig. 2 coordinator/worker scheme."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import cut_value, erdos_renyi

@@ -1,6 +1,5 @@
 """Unit tests for the parallel job executors."""
 
-import os
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Consistency tests for the transcribed published results."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import paperdata as pd
 

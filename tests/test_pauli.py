@@ -2,10 +2,8 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.graphs import cut_diagonal, cut_value, erdos_renyi
+from repro.graphs import cut_diagonal, cut_value
 from repro.graphs.maxcut import bitstring_to_assignment
 from repro.quantum.pauli import (
     IsingHamiltonian,

@@ -1,7 +1,6 @@
 """Unit tests for run-time method-selection policies."""
 
 import numpy as np
-import pytest
 
 from repro.graphs import complete, erdos_renyi, ring
 from repro.ml import GridRecord, KnowledgeBase, MethodClassifier

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.quantum.gates import CX, H, X, gate_matrix, rx, rzz
+from repro.quantum.gates import CX, H, X, rx, rzz
 from repro.quantum.statevector import (
     apply_diagonal,
     apply_gate,

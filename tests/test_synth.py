@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graphs import cut_diagonal, erdos_renyi
+from repro.graphs import cut_diagonal
 from repro.quantum import Circuit, StatevectorSimulator, run_qaoa_reference
 from repro.quantum.circuit import ParamRef
 from repro.quantum.statevector import fidelity
@@ -13,7 +13,6 @@ from repro.synth import (
     Preferences,
     QAOAConfig,
     cancel_identities,
-    circuit_metrics,
     decompose_rzz,
     fuse_rotations,
     greedy_edge_coloring,
