@@ -1,0 +1,193 @@
+"""MaxCutService throughput on a Zipf-distributed request stream.
+
+The serving-stack acceptance gate (ISSUE 4): ~100 requests drawn
+Zipf-distributed over a small universe of distinct seeded ER graphs —
+the shape of the sub-problem traffic QAOA² emits at deeper levels, where
+a few hot sub-graphs recur constantly — answered two ways:
+
+* **uncached** — every request pays a full reference solve
+  (:func:`repro.qaoa2.solver._solve_subgraph_job`, exactly what the
+  service's own cold path runs);
+* **service**  — the same requests through :class:`repro.service.
+  MaxCutService`: canonical-fingerprint cache, request coalescing,
+  shared diagonals.
+
+Acceptance bar, enforced on every CI run via ``--quick``: the service
+answers the stream ≥5× faster with checksum-identical cut values.
+``--quick`` writes the shared-schema ``BENCH_service.json`` regression
+record (cached-path seconds + cut checksum).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.qaoa2.solver import _solve_subgraph_job
+from repro.service import MaxCutService, zipf_requests
+
+N_REQUESTS = 100
+UNIVERSE = 8
+N_NODES = 14
+EDGE_PROB = 0.3
+ZIPF_EXPONENT = 1.1
+OPTIONS = {"layers": 2, "maxiter": 40}
+STREAM_SEED = 0
+# Requests arrive in small batches (not one omniscient mega-batch), so the
+# stream exercises both dedup mechanisms: coalescing within a batch and
+# cache hits across batches.
+BATCH_SIZE = 10
+
+
+def _requests():
+    return zipf_requests(
+        n_requests=N_REQUESTS,
+        universe=UNIVERSE,
+        n_nodes=N_NODES,
+        edge_prob=EDGE_PROB,
+        zipf_exponent=ZIPF_EXPONENT,
+        options=OPTIONS,
+        rng=STREAM_SEED,
+    )
+
+
+def _solve_uncached(requests):
+    out = []
+    for request in requests:
+        out.append(
+            _solve_subgraph_job(
+                {
+                    "graph": request.graph,
+                    "method": request.method,
+                    "seed": request.seed,
+                    "qaoa_options": dict(request.options),
+                    "qaoa_grid": request.qaoa_grid,
+                    "gw_options": dict(request.gw_options),
+                }
+            )
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return _requests()
+
+
+def test_uncached_stream(benchmark, requests):
+    results = benchmark.pedantic(
+        _solve_uncached, args=(requests,), rounds=1, iterations=1
+    )
+    assert len(results) == N_REQUESTS
+
+
+def _serve_stream(requests):
+    service = MaxCutService(seed=0)
+    results = []
+    for start in range(0, len(requests), BATCH_SIZE):
+        results.extend(service.solve_many(requests[start : start + BATCH_SIZE]))
+    return service, results
+
+
+def test_service_stream(benchmark, requests):
+    service, results = benchmark.pedantic(
+        _serve_stream, args=(requests,), rounds=1, iterations=1
+    )
+    assert len(results) == N_REQUESTS
+
+
+def test_service_cuts_identical(requests):
+    direct = _solve_uncached(requests)
+    _service, served = _serve_stream(requests)
+    for ref, res in zip(direct, served):
+        assert res.cut == ref["cut"]
+        assert np.array_equal(res.assignment, ref["assignment"])
+
+
+# ---------------------------------------------------------------------------
+# JSON smoke mode: python bench_service.py --quick
+# ---------------------------------------------------------------------------
+def quick_report() -> dict:
+    requests = _requests()
+
+    start = time.perf_counter()
+    direct = _solve_uncached(requests)
+    uncached_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    service, served = _serve_stream(requests)
+    cached_s = time.perf_counter() - start
+
+    cuts_identical = all(
+        res.cut == ref["cut"] and np.array_equal(res.assignment, ref["assignment"])
+        for ref, res in zip(direct, served)
+    )
+    metrics = service.metrics
+    return {
+        "bench": "service_quick",
+        "n_requests": N_REQUESTS,
+        "universe": UNIVERSE,
+        "n_nodes": N_NODES,
+        "edge_prob": EDGE_PROB,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "options": dict(OPTIONS),
+        "uncached_s": uncached_s,
+        "service_s": cached_s,
+        "throughput_gain": uncached_s / cached_s,
+        "hits_memory": metrics.count("hits_memory"),
+        "coalesced": metrics.count("coalesced"),
+        "misses": metrics.count("misses"),
+        "request_p50_s": metrics.percentile("request", 50.0),
+        "request_p95_s": metrics.percentile("request", 95.0),
+        "cuts_identical": bool(cuts_identical),
+        "cuts": [round(res.cut, 9) for res in served],
+    }
+
+
+def main() -> None:
+    import argparse
+
+    from conftest import REPORTS_DIR, bench_checksum, write_bench_record
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="emit the cached-vs-uncached Zipf throughput JSON instead of "
+        "running pytest-benchmark",
+    )
+    args = parser.parse_args()
+    if not args.quick:
+        parser.error("run under pytest for full benchmarks, or pass --quick")
+    report = quick_report()
+    # ISSUE 4 acceptance bar, enforced on every CI run.
+    assert report["cuts_identical"], "service cut values diverged from direct solves"
+    assert report["throughput_gain"] >= 5.0, (
+        f"service only {report['throughput_gain']:.1f}x faster than uncached"
+    )
+    printable = {k: v for k, v in report.items() if k != "cuts"}
+    text = json.dumps(printable, indent=2)
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / "bench_service_quick.json").write_text(text + "\n")
+    write_bench_record(
+        "service",
+        n=N_NODES,
+        p=OPTIONS["layers"],
+        seconds=report["service_s"],
+        checksum=bench_checksum(
+            {
+                "cuts": report["cuts"],
+                "misses": report["misses"],
+                "hits_memory": report["hits_memory"],
+                "coalesced": report["coalesced"],
+            }
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,11 +4,13 @@ Commands map one-to-one onto the experiment drivers so the paper's
 workflow can be driven from a shell (or a SLURM batch script) without
 writing Python:
 
-* ``solve``       — solve one instance (qaoa | gw | qaoa2 | anneal | exact)
-* ``gridsearch``  — the Fig. 3 sweep, printing the three proportion panels
-* ``scaling``     — the Fig. 4 QAOA² method-mix experiment
-* ``hetjobs``     — the Fig. 1 workload-manager comparison
-* ``coordinator`` — the Fig. 2 coordinator/worker scaling run
+* ``solve``         — solve one instance (qaoa | gw | qaoa2 | anneal | exact)
+* ``gridsearch``    — the Fig. 3 sweep, printing the three proportion panels
+* ``scaling``       — the Fig. 4 QAOA² method-mix experiment
+* ``hetjobs``       — the Fig. 1 workload-manager comparison
+* ``coordinator``   — the Fig. 2 coordinator/worker scaling run
+* ``service-stats`` — run a Zipf request stream through MaxCutService and
+  print its counters / latency histograms / cache report
 """
 
 from __future__ import annotations
@@ -110,6 +112,11 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     from repro.experiments import ScalingConfig, run_scaling_experiment
     from repro.hpc.executor import ExecutorConfig
 
+    service = None
+    if args.use_service:
+        from repro.service import MaxCutService
+
+        service = MaxCutService(seed=args.seed)
     config = ScalingConfig(
         node_counts=tuple(args.node_counts),
         edge_prob=args.edge_prob,
@@ -117,10 +124,37 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         qaoa_options={"layers": args.layers, "maxiter": args.maxiter},
         gw_fail_above=args.gw_fail_above,
         executor=ExecutorConfig(backend=args.backend),
+        service=service,
         rng=args.seed,
     )
     result = run_scaling_experiment(config)
     print(result.format_table())
+    if service is not None:
+        print()
+        print(service.stats_report())
+    return 0
+
+
+def cmd_service_stats(args: argparse.Namespace) -> int:
+    from repro.service import MaxCutService, zipf_requests
+
+    service = MaxCutService(seed=args.seed, disk_dir=args.disk_dir)
+    requests = zipf_requests(
+        n_requests=args.requests,
+        universe=args.universe,
+        n_nodes=args.nodes,
+        edge_prob=args.edge_prob,
+        zipf_exponent=args.zipf,
+        options={"layers": args.layers, "maxiter": args.maxiter},
+        rng=args.seed,
+    )
+    results = service.solve_many(requests)
+    print(
+        f"served {len(results)} requests over {args.universe} distinct "
+        f"graphs (zipf s={args.zipf})"
+    )
+    print()
+    print(service.stats_report())
     return 0
 
 
@@ -196,8 +230,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--gw-fail-above", type=int, default=None)
     p_scale.add_argument("--backend", choices=("serial", "thread", "process"),
                          default="thread")
+    p_scale.add_argument("--use-service", action="store_true",
+                         help="route leaf solves through a shared MaxCutService "
+                              "(cache + coalescing) and print its stats")
     p_scale.add_argument("--seed", type=int, default=0)
     p_scale.set_defaults(func=cmd_scaling)
+
+    p_stats = sub.add_parser(
+        "service-stats",
+        help="run a Zipf request stream through MaxCutService, print stats",
+    )
+    p_stats.add_argument("--requests", type=int, default=60)
+    p_stats.add_argument("--universe", type=int, default=6,
+                         help="number of distinct graphs in the stream")
+    p_stats.add_argument("--nodes", type=int, default=12)
+    p_stats.add_argument("--edge-prob", type=float, default=0.3)
+    p_stats.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf exponent of the request popularity")
+    p_stats.add_argument("--layers", type=int, default=2)
+    p_stats.add_argument("--maxiter", type=int, default=30)
+    p_stats.add_argument("--disk-dir", type=str, default=None,
+                         help="enable the JSON disk cache tier here")
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.set_defaults(func=cmd_service_stats)
 
     p_het = sub.add_parser("hetjobs", help="the Fig. 1 scheduling comparison")
     p_het.add_argument("--jobs", type=int, default=3)

@@ -49,6 +49,14 @@ class ScalingConfig:
     the sub-graph objectives drop to the closed-form analytic tier
     (:mod:`repro.qaoa.analytic`) — exact energies with no statevector, so
     the per-solve cost no longer scales with 2**n_max_qubits.
+
+    ``service`` routes every QAOA² leaf solve of the sweep through a
+    shared :class:`repro.service.MaxCutService` with the solver's own
+    per-leaf seeds, so cut values stay identical to the direct path and
+    bit-exact repeats (re-running a sweep, or several sweeps sharing one
+    service) are answered from its cache.  For in-run reuse across
+    isomorphic sub-graphs, run ``QAOA2Solver`` directly with
+    ``service_seeds="canonical"``.
     """
 
     node_counts: Sequence[int] = (60, 120, 180)
@@ -63,6 +71,7 @@ class ScalingConfig:
     gw_fail_above: Optional[int] = None
     partition_method: str = "greedy_modularity"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    service: Optional[object] = None  # repro.service.MaxCutService
     rng: RngLike = 0
 
 
@@ -141,6 +150,7 @@ def run_scaling_experiment(config: Optional[ScalingConfig] = None) -> ScalingRes
             gw_options=dict(config.gw_options),
             partition_method=config.partition_method,
             executor=config.executor,
+            service=config.service,
             rng=seed,
         ).solve(graph)
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import CutResult, bitstring_to_assignment
+from repro.hpc.executor import map_jobs
 from repro.optim import minimize, multi_start_spsa, spsa_perturbation_from_rhobeg
 from repro.qaoa.energy import MaxCutEnergy
 from repro.qaoa.params import default_iterations, initial_parameters
@@ -76,7 +77,8 @@ class QAOASolver:
         untouched.  With SPSA the starts advance in lock-step and every
         iteration evaluates all ± pairs as one ``(2*n_starts, 2p)`` engine
         batch (:func:`repro.optim.multi_start.multi_start_spsa`); the
-        sequential optimizers fall back to one restart per start.
+        sequential optimizers fall back to one restart per start (see
+        ``starts_executor`` to fan those restarts out in parallel).
     batched:
         When True (default) exact-statevector objectives hand the optimizer
         a vectorised ``(B, 2p) -> (B,)`` batch objective backed by the
@@ -108,6 +110,22 @@ class QAOASolver:
         dominant per-solve setup cost for repeated solves on one graph,
         e.g. a QAOA² sub-graph option grid) and backs the batched
         statevector objective.  Ignored if built for a different graph.
+    starts_executor:
+        Optional :class:`repro.hpc.executor.ExecutorConfig` (or backend
+        name string) for the sequential-optimizer multi-start fallback:
+        COBYLA / Nelder–Mead restarts fan out through
+        :func:`repro.hpc.executor.map_jobs` instead of running one after
+        another.  Restarts are independent by construction — every start's
+        initial point is drawn up front and each restart gets its own
+        pre-spawned child generator — and results are reduced in
+        submission order, so parallel runs are bit-identical to serial
+        ones.  Only the ``thread`` backend is supported for parallelism
+        (the objective closes over the engine's pooled buffers, which
+        cannot pickle to a process pool); NumPy kernels release the GIL,
+        so statevector-heavy restarts scale.  Objectives that consume RNG
+        state per evaluation (``sampled`` / noisy) stay sequential to
+        preserve their stream order.  Ignored for SPSA multi-start, which
+        is already one lock-step batch.
     """
 
     layers: int = 3
@@ -127,6 +145,7 @@ class QAOASolver:
     noise: Optional[object] = None  # repro.quantum.noise.NoiseModel
     noise_trajectories: int = 8
     engine: Optional[object] = None  # repro.qaoa.engine.SweepEngine
+    starts_executor: Optional[object] = None  # ExecutorConfig | backend name
     rng: RngLike = None
     max_qubits: int = 26
 
@@ -281,23 +300,63 @@ class QAOASolver:
             )
         # Sequential optimizers (COBYLA / Nelder-Mead): one restart per
         # start, best-seen result wins, nfev accumulated fleet-wide.
-        best = None
-        nfev = 0
-        for row in x0s:
-            result = minimize(
+        # Restarts are independent — initial points were all drawn above
+        # and each restart gets its own pre-spawned generator — so they
+        # fan out through map_jobs when a starts_executor is configured,
+        # and the submission-order reduction keeps parallel runs
+        # bit-identical to serial ones.
+        start_rngs = child.spawn(len(x0s))
+
+        def run_restart(job) -> object:
+            row, start_rng = job
+            return minimize(
                 neg_fp,
                 row,
                 method=self.optimizer,
                 rhobeg=self.rhobeg,
                 maxiter=maxiter,
-                rng=gen,
+                rng=start_rng,
                 batch_fun=neg_fp_batch,
             )
+
+        results = map_jobs(
+            run_restart,
+            list(zip(x0s, start_rngs)),
+            config=self._starts_executor_config(),
+        )
+        best = None
+        nfev = 0
+        for result in results:
             nfev += result.nfev
             if best is None or result.fun < best.fun:
                 best = result
         best.nfev = nfev
         return best
+
+    def _starts_executor_config(self):
+        """Executor for the sequential multi-start fallback (validated)."""
+        from repro.hpc.executor import ExecutorConfig
+
+        config = self.starts_executor
+        if config is None:
+            return ExecutorConfig()  # serial
+        if isinstance(config, str):
+            config = ExecutorConfig(backend=config)
+        if config.backend == "process":
+            raise ValueError(
+                "starts_executor cannot use the 'process' backend: the "
+                "objective closes over unpicklable engine buffers; use "
+                "'thread' (NumPy kernels release the GIL)"
+            )
+        if (
+            config.backend != "serial"
+            and (self.objective != "statevector"
+                 or (self.noise is not None and not self.noise.is_trivial()))
+        ):
+            # Shot-sampled / noisy objectives consume generator state per
+            # evaluation; keep their stream order serial.
+            return ExecutorConfig()
+        return config
 
     # ------------------------------------------------------------------
     def _select(

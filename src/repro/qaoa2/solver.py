@@ -100,16 +100,27 @@ class QAOA2Result:
 # Sub-graph job (module level so the process backend can pickle it)
 # ---------------------------------------------------------------------------
 def _solve_subgraph_job(payload: dict) -> dict:
-    """Solve one sub-graph with the requested method; returns a plain dict."""
+    """Solve one sub-graph with the requested method; returns a plain dict.
+
+    Optional payload keys beyond the required six:
+
+    ``diagonal``
+        A precomputed cut diagonal for ``graph`` — the solver service's
+        batch scheduler shares one diagonal across all pending jobs on
+        byte-identical graphs, skipping the dominant per-solve setup cost.
+        The values computed are bit-identical with or without it.
+    """
     graph: Graph = payload["graph"]
     method: str = payload["method"]
     seed: int = payload["seed"]
     qaoa_options: dict = payload["qaoa_options"]
     qaoa_grid: Optional[Sequence[dict]] = payload["qaoa_grid"]
     gw_options: dict = payload["gw_options"]
+    diagonal = payload.get("diagonal")
 
     start = time.perf_counter()
-    out: dict = {"method": method, "qaoa_cut": None, "gw_cut": None, "gw_average": None}
+    out: dict = {"method": method, "qaoa_cut": None, "gw_cut": None, "gw_average": None,
+                 "params": None, "layers": None, "rhobeg": None}
 
     def run_qaoa() -> CutResult:
         # One engine per sub-graph: the cut diagonal is built once and every
@@ -118,15 +129,21 @@ def _solve_subgraph_job(payload: dict) -> dict:
         # equal-sized partitions solved by the same worker.  Grid entries
         # with layers=1 automatically drop to the solver's closed-form
         # analytic objective (no statevector until solution selection).
-        engine = SweepEngine(graph)
+        engine = SweepEngine(graph, diagonal=diagonal)
         configs = qaoa_grid if qaoa_grid else [{}]
         best: Optional[CutResult] = None
         for offset, overrides in enumerate(configs):
             options = {**qaoa_options, **overrides}
             solver = QAOASolver(rng=seed + offset, engine=engine, **options)
-            result = solver.solve(graph).as_cut_result()
+            qaoa_result = solver.solve(graph)
+            result = qaoa_result.as_cut_result()
             if best is None or result.cut > best.cut:
                 best = result
+                # Winning parameterisation, exported so the result cache
+                # can feed the knowledge base's warm starts.
+                out["params"] = [float(x) for x in qaoa_result.params]
+                out["layers"] = int(solver.layers)
+                out["rhobeg"] = float(solver.rhobeg)
         return best
 
     def run_gw() -> CutResult:
@@ -208,6 +225,27 @@ class QAOA2Solver:
         Community detector (see :func:`repro.graphs.partition.partition_with_cap`).
     executor:
         Parallel backend for the per-level sub-graph batch.
+    service:
+        Optional :class:`repro.service.MaxCutService`.  When set, every
+        leaf solve (sub-graph batches *and* small merged graphs) is routed
+        through the service instead of a direct executor fan-out, with
+        ``executor`` still governing the dispatch backend.  Duplicate
+        in-flight leaves coalesce and same-shape batches share cut
+        diagonals; whether *distinct-but-isomorphic* leaves share work is
+        the ``service_seeds`` trade-off below.
+    service_seeds:
+        ``"request"`` (default): leaves carry the exact sequentially-drawn
+        seeds the direct path would use, so the service path produces cut
+        values identical to the direct path at fixed seeds (pinned in
+        ``tests/test_service.py``).  Since each leaf's seed is unique,
+        cache hits then only occur for bit-exact repeats — re-running the
+        same solve, or several solvers sharing one service.
+        ``"canonical"``: leaves are submitted seedless and the service
+        derives content-addressed seeds, so identical/isomorphic
+        sub-graphs *within one run* share a single solve via the cache —
+        the deeper-level QAOA² reuse the paper's knowledge base motivates
+        — at the cost of a different (still deterministic) seed stream
+        than the direct path.
     """
 
     n_max_qubits: int = 10
@@ -218,6 +256,8 @@ class QAOA2Solver:
     gw_options: dict = field(default_factory=dict)
     partition_method: str = "greedy_modularity"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    service: Optional[object] = None  # repro.service.MaxCutService
+    service_seeds: str = "request"  # "request" | "canonical"
     rng: RngLike = None
     max_levels: int = 32
 
@@ -259,6 +299,49 @@ class QAOA2Solver:
             "gw_options": dict(self.gw_options),
         }
 
+    def _solve_leaf_payloads(self, payloads: List[dict]) -> List[dict]:
+        """Solve a batch of leaf payloads, directly or through the service.
+
+        The service path submits the *same* payloads (same graphs, same
+        sequentially-drawn seeds) as ``exact`` requests, so cold solves run
+        the reference :func:`_solve_subgraph_job` computation bit-for-bit;
+        only caching/coalescing/diagonal-sharing differ.
+        """
+        if self.service is None:
+            return map_jobs(_solve_subgraph_job, payloads, config=self.executor)
+        if self.service_seeds not in ("request", "canonical"):
+            raise ValueError(
+                f"unknown service_seeds mode {self.service_seeds!r}; "
+                "expected 'request' or 'canonical'"
+            )
+        from repro.service import SolveRequest
+
+        canonical = self.service_seeds == "canonical"
+        requests = [
+            SolveRequest(
+                graph=payload["graph"],
+                method=payload["method"],
+                options=dict(payload["qaoa_options"]),
+                qaoa_grid=payload["qaoa_grid"],
+                gw_options=dict(payload["gw_options"]),
+                seed=None if canonical else payload["seed"],
+                exact=True,
+            )
+            for payload in payloads
+        ]
+        return [
+            {
+                "method": res.method,
+                "cut": res.cut,
+                "assignment": res.assignment,
+                "qaoa_cut": res.extra.get("qaoa_cut"),
+                "gw_cut": res.extra.get("gw_cut"),
+                "gw_average": res.extra.get("gw_average"),
+                "elapsed": res.elapsed,
+            }
+            for res in self.service.solve_many(requests, executor=self.executor)
+        ]
+
     def _recurse(
         self,
         graph: Graph,
@@ -272,7 +355,7 @@ class QAOA2Solver:
         start = time.perf_counter()
         if graph.n_nodes <= self.n_max_qubits:
             payload = self._leaf_payload(graph, level, int(gen.integers(2**31)))
-            result = _solve_subgraph_job(payload)
+            result = self._solve_leaf_payloads([payload])[0]
             records.append(
                 SubgraphRecord(
                     level=level,
@@ -298,9 +381,7 @@ class QAOA2Solver:
             payloads.append(
                 (part_id, self._leaf_payload(subgraph, level, int(gen.integers(2**31))))
             )
-        results = map_jobs(
-            _solve_subgraph_job, [p for _, p in payloads], config=self.executor
-        )
+        results = self._solve_leaf_payloads([p for _, p in payloads])
         local_assignments: List[np.ndarray] = []
         for (part_id, payload), result in zip(payloads, results):
             sub = payload["graph"]

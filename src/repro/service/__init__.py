@@ -1,0 +1,52 @@
+"""repro.service — the request-level MaxCut serving stack.
+
+Turns the repo's solvers into a high-throughput service whose unit of
+work is a *request* (graph + solver configuration) rather than a graph:
+
+* :mod:`repro.service.fingerprint` — canonical graph hashing (degree
+  refinement + individualisation backtracking) so relabeled-isomorphic
+  requests share one identity;
+* :mod:`repro.service.cache`       — two-tier result cache (byte-budget
+  LRU + JSON disk tier) with knowledge-base warm-start export;
+* :mod:`repro.service.scheduler`   — coalesced-job dispatch: lock-step
+  SPSA batches, shared cut diagonals, executor fan-out;
+* :mod:`repro.service.service`     — the :class:`MaxCutService` facade
+  (``submit`` / ``result`` / ``solve`` / ``solve_many``);
+* :mod:`repro.service.metrics`     — counters and latency histograms
+  behind ``python -m repro service-stats``.
+
+See ``src/repro/service/README.md`` for the request lifecycle.
+"""
+
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.fingerprint import (
+    GraphFingerprint,
+    canonical_fingerprint,
+    config_token,
+    request_digest,
+)
+from repro.service.metrics import LatencyStats, ServiceMetrics
+from repro.service.scheduler import BatchScheduler, ScheduledJob
+from repro.service.service import (
+    MaxCutService,
+    ServiceResult,
+    SolveRequest,
+    zipf_requests,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "CacheEntry",
+    "GraphFingerprint",
+    "LatencyStats",
+    "MaxCutService",
+    "ResultCache",
+    "ScheduledJob",
+    "ServiceMetrics",
+    "ServiceResult",
+    "SolveRequest",
+    "canonical_fingerprint",
+    "config_token",
+    "request_digest",
+    "zipf_requests",
+]

@@ -1,0 +1,271 @@
+"""Two-tier result cache: in-memory LRU (byte budget) + JSON disk tier.
+
+Entries are keyed by the request digest (:func:`repro.service.fingerprint.
+request_digest`) and store the solution in *canonical* node labels, so a
+single entry serves every relabeling of the same graph; the service maps
+the assignment back through each request's own fingerprint permutation.
+Each entry also keeps the canonical edge arrays so a digest hit can be
+verified exactly — a hash collision degrades to a miss, never to a wrong
+answer.
+
+Tiers
+-----
+* **memory** — an ``OrderedDict`` LRU bounded by ``max_bytes`` (entry
+  sizes are estimated from their array payloads).  Hot entries cost one
+  dict lookup plus the assignment re-index.
+* **disk** — optional (``disk_dir``): entries are written through as one
+  JSON file per digest and read back on memory misses (then promoted),
+  so a restarted service warms up from its predecessor's work.
+
+Entries that carry optimal QAOA angles can be exported into the paper's
+Fig. 3 knowledge base (:meth:`ResultCache.export_knowledge`), turning the
+serving cache into warm-start data for future parameterisations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.knowledge import GridRecord, KnowledgeBase
+from repro.service.fingerprint import GraphFingerprint
+from repro.service.metrics import ServiceMetrics
+
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+# Fixed per-entry overhead estimate (dict/dataclass plumbing, small
+# scalars) added on top of the array payload sizes.
+ENTRY_OVERHEAD_BYTES = 512
+
+
+@dataclass
+class CacheEntry:
+    """One cached solve, stored in canonical node labels."""
+
+    digest: str
+    n_nodes: int
+    canon_u: np.ndarray
+    canon_v: np.ndarray
+    canon_w: np.ndarray
+    assignment: np.ndarray  # canonical labels, uint8
+    cut: float
+    method: str
+    seed: Optional[int] = None
+    params: Optional[List[float]] = None  # optimal angles, when QAOA ran
+    layers: Optional[int] = None
+    rhobeg: Optional[float] = None
+    extra: dict = field(default_factory=dict)
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        self.canon_u = np.asarray(self.canon_u, dtype=np.int64)
+        self.canon_v = np.asarray(self.canon_v, dtype=np.int64)
+        self.canon_w = np.asarray(self.canon_w, dtype=np.float64)
+        self.assignment = np.asarray(self.assignment, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return int(
+            ENTRY_OVERHEAD_BYTES
+            + self.canon_u.nbytes
+            + self.canon_v.nbytes
+            + self.canon_w.nbytes
+            + self.assignment.nbytes
+        )
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.canon_u)
+
+    @property
+    def density(self) -> float:
+        if self.n_nodes < 2:
+            return 0.0
+        return 2.0 * self.n_edges / (self.n_nodes * (self.n_nodes - 1))
+
+    @property
+    def weighted(self) -> bool:
+        return bool(self.n_edges) and not np.allclose(self.canon_w, 1.0)
+
+    def matches(self, fp: GraphFingerprint) -> bool:
+        """Exact canonical-graph verification for a digest hit."""
+        return (
+            self.n_nodes == fp.n_nodes
+            and np.array_equal(self.canon_u, fp.canon_u)
+            and np.array_equal(self.canon_v, fp.canon_v)
+            and np.array_equal(self.canon_w, fp.canon_w)
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        for key in ("canon_u", "canon_v", "canon_w", "assignment"):
+            payload[key] = payload[key].tolist()
+        return payload
+
+    @staticmethod
+    def from_json(payload: dict) -> "CacheEntry":
+        return CacheEntry(**payload)
+
+
+class ResultCache:
+    """LRU-over-bytes result store with optional JSON persistence."""
+
+    def __init__(
+        self,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        disk_dir: Optional[str | Path] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._entries: Dict[str, CacheEntry] = {}  # insertion = LRU order
+        self._nbytes = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[CacheEntry]:
+        """Memory first, then disk (promoting); ``None`` on a full miss."""
+        return self.get_tiered(digest)[0]
+
+    def get_tiered(self, digest: str) -> Tuple[Optional[CacheEntry], Optional[str]]:
+        """Like :meth:`get` but also names the serving tier.
+
+        Returns ``(entry, "memory"|"disk")`` on a hit, ``(None, None)`` on
+        a miss.  Callers must still verify :meth:`CacheEntry.matches`
+        against the request's fingerprint before trusting the entry.
+        """
+        entry = self._entries.get(digest)
+        if entry is not None:
+            # LRU touch: re-insert at the most-recent end.
+            del self._entries[digest]
+            self._entries[digest] = entry
+            entry.hits += 1
+            return entry, "memory"
+        entry = self._disk_get(digest)
+        if entry is not None:
+            entry.hits += 1
+            self._admit(entry, write_through=False)
+            return entry, "disk"
+        return None, None
+
+    def put(self, entry: CacheEntry) -> None:
+        self._admit(entry, write_through=True)
+
+    def _admit(self, entry: CacheEntry, *, write_through: bool) -> None:
+        old = self._entries.pop(entry.digest, None)
+        if old is not None:
+            self._nbytes -= old.nbytes
+        self._entries[entry.digest] = entry
+        self._nbytes += entry.nbytes
+        if write_through and self.disk_dir is not None:
+            self._disk_put(entry)
+        self._evict()
+
+    def _evict(self) -> None:
+        while self._nbytes > self.max_bytes and len(self._entries) > 1:
+            digest = next(iter(self._entries))  # least recently used
+            dropped = self._entries.pop(digest)
+            self._nbytes -= dropped.nbytes
+            self.metrics.increment("evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._nbytes = 0
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, digest: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{digest}.json"
+
+    def _disk_put(self, entry: CacheEntry) -> None:
+        path = self._disk_path(entry.digest)
+        path.write_text(json.dumps(entry.to_json()))
+
+    def _disk_get(self, digest: str) -> Optional[CacheEntry]:
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(digest)
+        if not path.exists():
+            return None
+        try:
+            return CacheEntry.from_json(json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError):
+            # A torn/stale file is a miss, not an error.
+            return None
+
+    def disk_entries(self) -> int:
+        if self.disk_dir is None:
+            return 0
+        return sum(1 for _ in self.disk_dir.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    def export_knowledge(self, kb: Optional[KnowledgeBase] = None) -> KnowledgeBase:
+        """Fold cached QAOA outcomes into a Fig. 3 knowledge base.
+
+        Entries with stored angles become :class:`GridRecord`s keyed by the
+        entry's graph class; ``gw_cut`` uses the entry's recorded GW value
+        when the request compared both solvers (method ``best``) and falls
+        back to the QAOA cut itself otherwise (ratio 1 — the record then
+        contributes its angles for warm starts without skewing win rates).
+        """
+        kb = kb if kb is not None else KnowledgeBase()
+        for entry in self._entries.values():
+            if entry.params is None or entry.layers is None:
+                continue
+            qaoa_cut = entry.extra.get("qaoa_cut")
+            qaoa_cut = float(qaoa_cut) if qaoa_cut is not None else float(entry.cut)
+            gw_cut = entry.extra.get("gw_cut")
+            kb.add(
+                GridRecord(
+                    n_nodes=entry.n_nodes,
+                    edge_probability=entry.density,
+                    weighted=entry.weighted,
+                    layers=int(entry.layers),
+                    rhobeg=float(entry.rhobeg if entry.rhobeg is not None else 0.5),
+                    qaoa_cut=qaoa_cut,
+                    gw_cut=float(gw_cut) if gw_cut is not None else qaoa_cut,
+                    qaoa_params=list(entry.params),
+                )
+            )
+        return kb
+
+    # ------------------------------------------------------------------
+    def format_summary(self) -> str:
+        lines = [
+            f"cache: {len(self)} entries, {self._nbytes / 1024:.1f} KiB "
+            f"of {self.max_bytes / 1024:.1f} KiB budget",
+        ]
+        if self.disk_dir is not None:
+            lines.append(
+                f"disk tier: {self.disk_entries()} entries under {self.disk_dir}"
+            )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "ENTRY_OVERHEAD_BYTES",
+    "CacheEntry",
+    "ResultCache",
+]

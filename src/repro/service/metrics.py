@@ -1,0 +1,165 @@
+"""Service observability: counters and latency histograms.
+
+Deliberately dependency-free (no prometheus / statsd): a counter map plus
+reservoir latency recorders, rendered as the text report behind
+``python -m repro service-stats``.  Everything is in-process; the service
+mutates one :class:`ServiceMetrics` instance and callers read snapshots.
+
+Counter vocabulary used by the service stack (callers may add their own):
+
+``requests``        every request seen by ``solve_many``/``solve``
+``hits_memory``     answered from the in-memory cache tier
+``hits_disk``       answered from the JSON disk tier (then promoted)
+``misses``          required an actual solve
+``coalesced``       duplicate in-flight requests folded into one job
+``solves``          cold solves executed
+``lockstep_jobs``   jobs dispatched inside a lock-step SPSA batch
+``lockstep_batches``lock-step batches dispatched
+``shared_diagonals``jobs that reused a batch-mate's cut diagonal
+``evictions``       LRU entries dropped for the byte budget
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+# Reservoir cap per histogram: enough samples for stable p50/p95 at the
+# request volumes an in-process service sees, bounded so long-lived
+# services do not grow without limit.
+DEFAULT_RESERVOIR = 4096
+
+
+class LatencyStats:
+    """Streaming latency recorder with percentile readout.
+
+    Keeps exact count/total/min/max plus a bounded sample reservoir for
+    percentiles.  Past the cap, new samples overwrite pseudo-randomly (a
+    deterministic linear-congruential index stream, so runs are
+    reproducible without consuming any caller RNG).
+    """
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("reservoir must be positive")
+        self.reservoir = reservoir
+        self.count = 0
+        self.total = 0.0
+        self.min = np.inf
+        self.max = -np.inf
+        self._samples: List[float] = []
+        self._lcg = 0x9E3779B9
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+        if len(self._samples) < self.reservoir:
+            self._samples.append(seconds)
+        else:
+            self._lcg = (self._lcg * 1103515245 + 12345) % (1 << 31)
+            slot = self._lcg % self.reservoir
+            # Classic reservoir sampling keeps the slot only with
+            # probability reservoir/count; a cheap deterministic analogue.
+            if self._lcg % self.count < self.reservoir:
+                self._samples[slot] = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]; NaN when nothing has been observed."""
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+        }
+
+
+class ServiceMetrics:
+    """Counter map + named latency histograms, with a text report."""
+
+    def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        self._reservoir = reservoir
+        self.counters: Dict[str, int] = {}
+        self.latencies: Dict[str, LatencyStats] = {}
+
+    # ------------------------------------------------------------------
+    def increment(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def observe(self, name: str, seconds: float) -> None:
+        stats = self.latencies.get(name)
+        if stats is None:
+            stats = self.latencies[name] = LatencyStats(self._reservoir)
+        stats.observe(seconds)
+
+    def percentile(self, name: str, q: float) -> float:
+        stats = self.latencies.get(name)
+        return stats.percentile(q) if stats is not None else float("nan")
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "latencies": {
+                name: stats.summary()
+                for name, stats in sorted(self.latencies.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    def hit_rate(self) -> Optional[float]:
+        """Fraction of requests answered without a cold solve."""
+        requests = self.count("requests")
+        if requests == 0:
+            return None
+        served = (
+            self.count("hits_memory")
+            + self.count("hits_disk")
+            + self.count("coalesced")
+        )
+        return served / requests
+
+    def format_report(self, title: str = "service metrics") -> str:
+        lines = [title, "=" * len(title), "", "counters"]
+        if self.counters:
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<{width}}  {self.counters[name]}")
+        else:
+            lines.append("  (none)")
+        rate = self.hit_rate()
+        if rate is not None:
+            lines.append(f"  {'hit_rate':<{max(8, len('hit_rate'))}}  {rate:.1%}")
+        lines.append("")
+        lines.append("latencies (seconds)")
+        if self.latencies:
+            header = f"  {'name':<16} {'count':>6} {'mean':>10} {'p50':>10} {'p95':>10} {'max':>10}"
+            lines.append(header)
+            for name in sorted(self.latencies):
+                s = self.latencies[name].summary()
+                lines.append(
+                    f"  {name:<16} {s['count']:>6d} {s['mean']:>10.6f} "
+                    f"{s['p50']:>10.6f} {s['p95']:>10.6f} {s['max']:>10.6f}"
+                )
+        else:
+            lines.append("  (none)")
+        return "\n".join(lines)
+
+
+__all__ = ["DEFAULT_RESERVOIR", "LatencyStats", "ServiceMetrics"]

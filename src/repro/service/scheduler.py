@@ -1,0 +1,309 @@
+"""Batched job scheduler for the MaxCut solver service.
+
+The service hands the scheduler a batch of *deduplicated* jobs (one per
+distinct request digest — coalescing happens upstream in
+:mod:`repro.service.service`).  The scheduler's task is to execute them
+with as much sharing as correctness allows:
+
+1. **Shape groups.**  Jobs are grouped by byte-identical graphs
+   (``n_nodes`` plus exact edge arrays).  Each group shares one cut
+   diagonal — the dominant per-solve setup cost for statevector QAOA —
+   threaded into :func:`repro.qaoa2.solver._solve_subgraph_job` via the
+   payload, which produces bit-identical values with or without sharing.
+2. **Lock-step batches.**  Within a shape group, QAOA jobs whose
+   configuration is lock-step eligible (SPSA optimizer, exact
+   statevector/analytic objective, single start, no grid, not flagged
+   ``exact``) are advanced together by
+   :func:`repro.optim.multi_start.multi_start_spsa_independent`: every
+   optimizer iteration evaluates the ± pairs of *all* jobs as one engine
+   batch, while each job consumes its own RNG stream — so each job's
+   result reproduces its solo solve (cut/selection identical, parameters
+   to reduction-order float noise; pinned in ``tests/test_service.py``).
+3. **Heterogeneous fallback.**  Everything else — GW, grids, COBYLA,
+   sampled objectives, ``exact``-flagged jobs — is dispatched per-job
+   through :func:`repro.hpc.executor.map_jobs` (serial/thread/process),
+   running the reference ``_solve_subgraph_job`` path byte-for-byte.
+
+Results are always returned in submission order, so serial and
+concurrent scheduler runs are indistinguishable to the caller.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import cut_diagonal
+from repro.hpc.executor import ExecutorConfig, map_jobs
+from repro.optim import multi_start_spsa_independent, spsa_perturbation_from_rhobeg
+from repro.qaoa.energy import MaxCutEnergy
+from repro.qaoa.engine import SweepEngine
+from repro.qaoa.params import default_iterations, initial_parameters
+from repro.qaoa.solver import QAOASolver
+from repro.qaoa2.solver import _solve_subgraph_job
+from repro.service.metrics import ServiceMetrics
+from repro.util.rng import ensure_rng
+
+# Only graphs small enough for a statevector benefit from an eagerly
+# shared diagonal (mirrors the solver's own max_qubits default).
+MAX_SHARED_DIAGONAL_QUBITS = 26
+
+
+@dataclass
+class ScheduledJob:
+    """One deduplicated unit of work, as seen by the scheduler."""
+
+    index: int  # submission order, also the result slot
+    graph: Graph
+    method: str
+    options: dict
+    qaoa_grid: Optional[Sequence[dict]]
+    gw_options: dict
+    seed: int
+    exact: bool = False  # force the reference per-job path
+
+    def payload(self) -> dict:
+        return {
+            "graph": self.graph,
+            "method": self.method,
+            "seed": self.seed,
+            "qaoa_options": dict(self.options),
+            "qaoa_grid": self.qaoa_grid,
+            "gw_options": dict(self.gw_options),
+        }
+
+
+def _graph_key(graph: Graph) -> Tuple[int, bytes, bytes, bytes]:
+    return (
+        graph.n_nodes,
+        graph.u.tobytes(),
+        graph.v.tobytes(),
+        graph.w.tobytes(),
+    )
+
+
+def _lockstep_solver(job: ScheduledJob) -> Optional[QAOASolver]:
+    """The job's solver config, when it is lock-step eligible; else None."""
+    if job.exact or job.method != "qaoa" or job.qaoa_grid:
+        return None
+    try:
+        solver = QAOASolver(**job.options)
+    except TypeError:
+        return None  # unknown knob: let the reference path raise properly
+    if (
+        solver.optimizer != "spsa"
+        or solver.objective != "statevector"
+        or solver.noise is not None
+        or solver.n_starts != 1
+        or not solver.batched
+        or solver.engine is not None
+        or job.graph.n_nodes > solver.max_qubits
+    ):
+        # The size guard matters: the reference path raises the solver's
+        # clean too-many-qubits error instead of attempting a 2**n batch.
+        return None
+    return solver
+
+
+class BatchScheduler:
+    """Groups, batches and dispatches deduplicated solve jobs."""
+
+    def __init__(
+        self,
+        executor: Optional[ExecutorConfig] = None,
+        *,
+        metrics: Optional[ServiceMetrics] = None,
+        lockstep: bool = True,
+        share_diagonals: bool = True,
+    ) -> None:
+        self.executor = executor if executor is not None else ExecutorConfig()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.lockstep = lockstep
+        self.share_diagonals = share_diagonals
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[ScheduledJob],
+        *,
+        executor: Optional[ExecutorConfig] = None,
+    ) -> List[dict]:
+        """Execute all jobs; result dicts land in submission order.
+
+        Job indices must be dense ``0..len(jobs)-1`` (the service numbers
+        them that way); each result lands in its job's slot.  ``executor``
+        overrides the scheduler's default backend for this batch — QAOA²
+        passes its own leaf executor through so ``--backend thread`` keeps
+        its meaning on the service path.
+        """
+        executor = executor if executor is not None else self.executor
+        results: List[Optional[dict]] = [None] * len(jobs)
+        groups: Dict[Tuple, List[ScheduledJob]] = {}
+        for job in jobs:
+            groups.setdefault(_graph_key(job.graph), []).append(job)
+
+        generic: List[ScheduledJob] = []
+        for group in groups.values():
+            leftovers = group
+            if self.lockstep:
+                leftovers = self._dispatch_lockstep(group, results)
+            generic.extend(leftovers)
+
+        generic.sort(key=lambda job: job.index)  # submission order
+        if generic:
+            payloads = [job.payload() for job in generic]
+            if self.share_diagonals:
+                self._share_diagonals(generic, payloads, executor)
+            solved = map_jobs(_solve_subgraph_job, payloads, config=executor)
+            for job, result in zip(generic, solved):
+                results[job.index] = result
+        self.metrics.increment("solves", len(jobs))
+        return results
+
+    # ------------------------------------------------------------------
+    def _share_diagonals(
+        self,
+        jobs: List[ScheduledJob],
+        payloads: List[dict],
+        executor: ExecutorConfig,
+    ) -> None:
+        """Precompute one cut diagonal per shape group that wants one.
+
+        Only methods whose solve path reads ``payload["diagonal"]`` (the
+        QAOA engine setup inside ``run_qaoa``) benefit, and only
+        same-graph groups of two or more amortise anything.  The thread
+        and serial backends share the array by reference; the process
+        backend would pickle a 2**n vector per job, so sharing is skipped
+        there.
+        """
+        if executor.backend == "process":
+            return
+        by_graph: Dict[Tuple, List[int]] = {}
+        for slot, job in enumerate(jobs):
+            if job.method in ("qaoa", "best") and (
+                job.graph.n_nodes <= MAX_SHARED_DIAGONAL_QUBITS
+            ):
+                by_graph.setdefault(_graph_key(job.graph), []).append(slot)
+        for slots in by_graph.values():
+            if len(slots) < 2:
+                continue
+            diagonal = cut_diagonal(jobs[slots[0]].graph)
+            for slot in slots:
+                payloads[slot]["diagonal"] = diagonal
+            self.metrics.increment("shared_diagonals", len(slots))
+
+    # ------------------------------------------------------------------
+    def _dispatch_lockstep(
+        self, group: List[ScheduledJob], results: List[Optional[dict]]
+    ) -> List[ScheduledJob]:
+        """Run lock-step-eligible sub-batches of one shape group.
+
+        Returns the jobs that must take the generic path.
+        """
+        if group[0].graph.n_edges == 0:
+            return group  # the solver's edgeless shortcut handles these
+        from repro.service.fingerprint import config_token
+
+        batches: Dict[str, List[ScheduledJob]] = {}
+        solvers: Dict[str, QAOASolver] = {}
+        leftovers: List[ScheduledJob] = []
+        for job in group:
+            solver = _lockstep_solver(job)
+            if solver is None:
+                leftovers.append(job)
+                continue
+            token = config_token(job.options)
+            batches.setdefault(token, []).append(job)
+            solvers[token] = solver
+        for token, batch in batches.items():
+            if len(batch) < 2:
+                leftovers.extend(batch)
+                continue
+            solved = _solve_lockstep_batch(batch[0].graph, batch, solvers[token])
+            for job, result in zip(batch, solved):
+                results[job.index] = result
+            self.metrics.increment("lockstep_jobs", len(batch))
+            self.metrics.increment("lockstep_batches")
+        return leftovers
+
+
+def _solve_lockstep_batch(
+    graph: Graph, jobs: List[ScheduledJob], solver: QAOASolver
+) -> List[dict]:
+    """Solve a batch of same-graph, same-config SPSA jobs in lock-step.
+
+    Mirrors :meth:`repro.qaoa.solver.QAOASolver.solve` step for step —
+    same RNG consumption order per job, same objective construction, same
+    final-state evaluation and selection — with the optimizer loop
+    replaced by :func:`multi_start_spsa_independent` so all jobs' ± pairs
+    evaluate as one engine batch per iteration.
+    """
+    start = time.perf_counter()
+    engine = SweepEngine(graph)
+    energy = MaxCutEnergy(graph, diagonal=engine.diagonal)
+    energy.attach_engine(engine)
+    maxiter = (
+        solver.maxiter
+        if solver.maxiter is not None
+        else default_iterations(solver.layers)
+    )
+    gens = [ensure_rng(job.seed) for job in jobs]
+    x0s = np.stack(
+        [
+            initial_parameters(
+                solver.layers, solver.init, rng=gen, warm_start=solver.warm_start
+            )
+            for gen in gens
+        ]
+    )
+    use_analytic = solver._use_analytic()  # same knob semantics as solo solves
+    if use_analytic:
+        analytic = energy.analytic
+
+        def neg_fp(params: np.ndarray) -> float:
+            return -analytic.energy(params)
+
+        def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+            return -analytic.energies(params_matrix)
+    else:
+        def neg_fp(params: np.ndarray) -> float:
+            return -energy.expectation(params)
+
+        def neg_fp_batch(params_matrix: np.ndarray) -> np.ndarray:
+            return -energy.energies_batch(params_matrix)
+
+    opts = multi_start_spsa_independent(
+        neg_fp,
+        x0s,
+        maxiter=maxiter,
+        c=spsa_perturbation_from_rhobeg(solver.rhobeg),
+        rngs=gens,
+        batch_fun=neg_fp_batch,
+    )
+    states = engine.statevectors(np.stack([opt.x for opt in opts]))
+    elapsed = time.perf_counter() - start
+    out: List[dict] = []
+    for job, opt, state, gen in zip(jobs, opts, states, gens):
+        assignment, cut, _info = solver._select(graph, energy, state, gen)
+        out.append(
+            {
+                "method": "qaoa",
+                "qaoa_cut": cut,
+                "gw_cut": None,
+                "gw_average": None,
+                "params": [float(x) for x in opt.x],
+                "layers": int(solver.layers),
+                "rhobeg": float(solver.rhobeg),
+                "assignment": assignment,
+                "cut": cut,
+                "elapsed": elapsed / len(jobs),
+            }
+        )
+    return out
+
+
+__all__ = ["BatchScheduler", "ScheduledJob", "MAX_SHARED_DIAGONAL_QUBITS"]

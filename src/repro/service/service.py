@@ -1,0 +1,456 @@
+"""`MaxCutService` — the request-level facade over the repo's solvers.
+
+Request lifecycle (see also ``src/repro/service/README.md``)::
+
+    submit ─▶ fingerprint ─▶ cache? ──hit──▶ un-relabel, return
+                                │miss
+                                ▼
+                           coalesce duplicates
+                                │
+                                ▼
+                       BatchScheduler (lock-step batches /
+                        shared diagonals / executor fan-out)
+                                │
+                                ▼
+                        cache fill ─▶ return (submission order)
+
+Determinism contract
+--------------------
+* Every request resolves to one integer seed: the caller's explicit
+  ``seed`` if given, else a seed *derived* from the service master seed
+  and the request's canonical fingerprint — so the seed (and therefore
+  the answer) depends on *what* is asked, never on submission order or
+  executor concurrency.  Serial and concurrent runs of the same request
+  set are identical.
+* The cache key includes the resolved seed and the full solver
+  configuration: a hit returns exactly what a cold solve of that request
+  would have computed (bit-identical for byte-equal graphs; mapped
+  through the canonical relabeling for isomorphic ones).
+* Results of one ``solve_many`` batch are returned in submission order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.maxcut import CutResult
+from repro.hpc.executor import ExecutorConfig
+from repro.ml.knowledge import KnowledgeBase
+from repro.service.cache import DEFAULT_MAX_BYTES, CacheEntry, ResultCache
+from repro.service.fingerprint import (
+    GraphFingerprint,
+    canonical_fingerprint,
+    request_digest,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import BatchScheduler, ScheduledJob
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SolveRequest:
+    """One unit of service work: a graph plus a full solver configuration.
+
+    ``method``/``options``/``qaoa_grid``/``gw_options`` have exactly the
+    semantics of the QAOA² leaf payloads (:mod:`repro.qaoa2.solver`):
+    ``options`` are :class:`repro.qaoa.solver.QAOASolver` knobs, the grid
+    is a list of option overrides whose best cut wins.  ``seed=None``
+    asks the service for a derived content-addressed seed; ``exact=True``
+    pins the job to the reference per-job solve path (no lock-step
+    batching), which QAOA² uses to stay bit-identical with its direct
+    solver."""
+
+    graph: Graph
+    method: str = "qaoa"
+    options: dict = field(default_factory=dict)
+    qaoa_grid: Optional[Sequence[dict]] = None
+    gw_options: dict = field(default_factory=dict)
+    seed: Optional[int] = None
+    exact: bool = False
+
+
+@dataclass
+class ServiceResult:
+    """Answer to one request, plus serving metadata."""
+
+    digest: str
+    status: str  # "solved" | "coalesced" | "hit-memory" | "hit-disk"
+    assignment: np.ndarray
+    cut: float
+    method: str
+    seed: int
+    elapsed: float
+    params: Optional[List[float]] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def cached(self) -> bool:
+        return self.status.startswith("hit")
+
+    def as_cut_result(self) -> CutResult:
+        return CutResult(self.assignment, self.cut, self.method, dict(self.extra))
+
+
+# Unclaimed tickets (submitted, flushed, never fetched) are retained up to
+# this many; past it the oldest are dropped so fire-and-forget submitters
+# cannot grow the service's memory without bound.
+DEFAULT_MAX_RETAINED_TICKETS = 4096
+
+
+class MaxCutService:
+    """High-throughput MaxCut solving with caching and batching."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        disk_dir=None,
+        executor: Optional[ExecutorConfig] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        seed: RngLike = 0,
+        lockstep: bool = True,
+        use_cache: bool = True,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.cache = (
+            cache
+            if cache is not None
+            else ResultCache(
+                max_bytes=max_bytes, disk_dir=disk_dir, metrics=self.metrics
+            )
+        )
+        self.scheduler = BatchScheduler(
+            executor, metrics=self.metrics, lockstep=lockstep
+        )
+        # One integer master seed; derived per-request seeds hash it with
+        # the request fingerprint so they are submission-order independent.
+        self.master_seed = int(ensure_rng(seed).integers(2**63 - 1))
+        self.use_cache = use_cache
+        self.max_retained_tickets = DEFAULT_MAX_RETAINED_TICKETS
+        self._pending: List[SolveRequest] = []
+        self._tickets: Dict[int, ServiceResult] = {}  # insertion-ordered
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------------
+    # Facade
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        request: Optional[SolveRequest] = None,
+        **options,
+    ) -> int:
+        """Enqueue a request; returns a ticket for :meth:`result`.
+
+        Pass either a prebuilt :class:`SolveRequest` or a graph plus
+        keyword knobs (``method=``, ``seed=``, and any ``QAOASolver``
+        option).  Pending requests are batched together at the next
+        :meth:`flush`/:meth:`result` call — that batch is where
+        coalescing and lock-step grouping happen.
+        """
+        if request is None:
+            if graph is None:
+                raise ValueError("submit() needs a graph or a request")
+            method = options.pop("method", "qaoa")
+            seed = options.pop("seed", None)
+            qaoa_grid = options.pop("qaoa_grid", None)
+            gw_options = options.pop("gw_options", None) or {}
+            exact = options.pop("exact", False)
+            request = SolveRequest(
+                graph=graph,
+                method=method,
+                options=options,
+                qaoa_grid=qaoa_grid,
+                gw_options=gw_options,
+                seed=seed,
+                exact=exact,
+            )
+        elif graph is not None or options:
+            raise ValueError("pass either request= or graph+options, not both")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append(request)
+        return ticket
+
+    def flush(self) -> None:
+        """Solve every pending submission as one batch."""
+        if not self._pending:
+            return
+        pending = self._pending
+        first_ticket = self._next_ticket - len(pending)
+        self._pending = []
+        for offset, result in enumerate(self.solve_many(pending)):
+            self._tickets[first_ticket + offset] = result
+        # Bound the unclaimed-result map: fire-and-forget submitters must
+        # not leak one retained result per abandoned ticket forever.
+        while len(self._tickets) > self.max_retained_tickets:
+            self._tickets.pop(next(iter(self._tickets)))
+
+    def result(self, ticket: int) -> ServiceResult:
+        """The answer for ``ticket``, flushing pending work if needed."""
+        if ticket not in self._tickets:
+            self.flush()
+        if ticket not in self._tickets:
+            raise KeyError(f"unknown ticket {ticket}")
+        return self._tickets.pop(ticket)
+
+    def solve(
+        self,
+        graph: Optional[Graph] = None,
+        *,
+        request: Optional[SolveRequest] = None,
+        **options,
+    ) -> ServiceResult:
+        """One-call convenience: submit + flush + result."""
+        return self.result(self.submit(graph, request=request, **options))
+
+    # ------------------------------------------------------------------
+    # Core batch path
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        requests: Sequence[SolveRequest],
+        *,
+        executor: Optional[ExecutorConfig] = None,
+    ) -> List[ServiceResult]:
+        """Answer a batch of requests (submission order preserved).
+
+        ``executor`` overrides the service's dispatch backend for this
+        batch only (QAOA² passes its own leaf executor through)."""
+        t_batch = time.perf_counter()
+        requests = list(requests)
+        self.metrics.increment("requests", len(requests))
+
+        fps: List[GraphFingerprint] = []
+        digests: List[str] = []
+        seeds: List[int] = []
+        for request in requests:
+            t0 = time.perf_counter()
+            fp = canonical_fingerprint(request.graph)
+            seed = self._resolve_seed(request, fp)
+            digest = request_digest(
+                fp.digest,
+                method=request.method,
+                options=request.options,
+                qaoa_grid=request.qaoa_grid,
+                gw_options=request.gw_options,
+                seed=seed,
+                exact=request.exact,
+            )
+            fps.append(fp)
+            seeds.append(seed)
+            digests.append(digest)
+            self.metrics.observe("fingerprint", time.perf_counter() - t0)
+
+        results: List[Optional[ServiceResult]] = [None] * len(requests)
+        owners: Dict[str, int] = {}  # digest -> owning job slot
+        jobs: List[ScheduledJob] = []
+        job_members: List[List[int]] = []  # per job: request indices served
+        for idx, request in enumerate(requests):
+            t0 = time.perf_counter()
+            if self.use_cache:
+                entry, tier = self.cache.get_tiered(digests[idx])
+                if entry is not None and entry.matches(fps[idx]):
+                    results[idx] = self._result_from_entry(
+                        entry, fps[idx], seeds[idx], tier,
+                        time.perf_counter() - t0,
+                    )
+                    continue
+            digest = digests[idx]
+            if digest in owners:
+                job_members[owners[digest]].append(idx)
+                self.metrics.increment("coalesced")
+                continue
+            owners[digest] = len(jobs)
+            self.metrics.increment("misses")
+            jobs.append(
+                ScheduledJob(
+                    index=len(jobs),
+                    graph=request.graph,
+                    method=request.method,
+                    options=dict(request.options),
+                    qaoa_grid=request.qaoa_grid,
+                    gw_options=dict(request.gw_options),
+                    seed=seeds[idx],
+                    exact=request.exact,
+                )
+            )
+            job_members.append([idx])
+
+        if jobs:
+            solved = self.scheduler.run(jobs, executor=executor)
+            for job, members, raw in zip(jobs, job_members, solved):
+                owner_idx = members[0]
+                entry = self._entry_from_raw(
+                    digests[owner_idx], fps[owner_idx], seeds[owner_idx], raw
+                )
+                if self.use_cache:
+                    self.cache.put(entry)
+                # Coalesced members share the digest, hence the canonical
+                # graph — but may label it differently.  Map the canonical
+                # assignment once per distinct relabeling so identical
+                # submissions receive the *same* result array.
+                mapped: Dict[bytes, np.ndarray] = {}
+                for rank, idx in enumerate(members):
+                    status = "solved" if rank == 0 else "coalesced"
+                    perm_key = fps[idx].perm.tobytes()
+                    assignment = mapped.get(perm_key)
+                    if assignment is None:
+                        assignment = fps[idx].from_canonical(entry.assignment)
+                        mapped[perm_key] = assignment
+                    results[idx] = ServiceResult(
+                        digest=digests[idx],
+                        status=status,
+                        assignment=assignment,
+                        cut=entry.cut,
+                        method=entry.method,
+                        seed=seeds[idx],
+                        elapsed=float(raw.get("elapsed", 0.0)),
+                        params=list(entry.params) if entry.params else None,
+                        extra=dict(entry.extra),
+                    )
+
+        out = [res for res in results if res is not None]
+        assert len(out) == len(requests)
+        for res in out:
+            self.metrics.observe("request", res.elapsed)
+        self.metrics.observe("batch", time.perf_counter() - t_batch)
+        return out
+
+    # ------------------------------------------------------------------
+    def _resolve_seed(self, request: SolveRequest, fp: GraphFingerprint) -> int:
+        if request.seed is not None:
+            return int(request.seed)
+        digest_sans_seed = request_digest(
+            fp.digest,
+            method=request.method,
+            options=request.options,
+            qaoa_grid=request.qaoa_grid,
+            gw_options=request.gw_options,
+            seed=None,
+            exact=request.exact,
+        )
+        h = hashlib.sha256(
+            f"seed|{self.master_seed}|{digest_sans_seed}".encode()
+        ).digest()
+        return int.from_bytes(h[:4], "little") % (2**31)
+
+    def _result_from_entry(
+        self,
+        entry: CacheEntry,
+        fp: GraphFingerprint,
+        seed: int,
+        tier: str,
+        elapsed: float,
+    ) -> ServiceResult:
+        self.metrics.increment("hits_memory" if tier == "memory" else "hits_disk")
+        return ServiceResult(
+            digest=entry.digest,
+            status=f"hit-{tier}",
+            assignment=fp.from_canonical(entry.assignment),
+            cut=entry.cut,
+            method=entry.method,
+            seed=seed,
+            elapsed=elapsed,
+            # Copies: a caller mutating its result must not corrupt the
+            # cached entry (and with it every future hit / KB export).
+            params=list(entry.params) if entry.params else None,
+            extra=dict(entry.extra),
+        )
+
+    def _entry_from_raw(
+        self, digest: str, fp: GraphFingerprint, seed: int, raw: dict
+    ) -> CacheEntry:
+        extra = {
+            key: raw.get(key)
+            for key in ("qaoa_cut", "gw_cut", "gw_average")
+            if raw.get(key) is not None
+        }
+        return CacheEntry(
+            digest=digest,
+            n_nodes=fp.n_nodes,
+            canon_u=fp.canon_u,
+            canon_v=fp.canon_v,
+            canon_w=fp.canon_w,
+            assignment=fp.to_canonical(np.asarray(raw["assignment"], dtype=np.uint8)),
+            cut=float(raw["cut"]),
+            method=str(raw["method"]),
+            seed=seed,
+            params=raw.get("params"),
+            layers=raw.get("layers"),
+            rhobeg=raw.get("rhobeg"),
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting / export
+    # ------------------------------------------------------------------
+    def stats_report(self) -> str:
+        return (
+            self.metrics.format_report("MaxCutService stats")
+            + "\n\n"
+            + self.cache.format_summary()
+        )
+
+    def export_knowledge(self, kb: Optional[KnowledgeBase] = None) -> KnowledgeBase:
+        """Warm-start export: cached angles -> Fig. 3 knowledge base."""
+        return self.cache.export_knowledge(kb)
+
+
+# ---------------------------------------------------------------------------
+# Workload helper (bench / example / CLI)
+# ---------------------------------------------------------------------------
+def zipf_requests(
+    *,
+    n_requests: int = 100,
+    universe: int = 8,
+    n_nodes: int = 14,
+    edge_prob: float = 0.3,
+    weighted: bool = True,
+    zipf_exponent: float = 1.1,
+    method: str = "qaoa",
+    options: Optional[dict] = None,
+    rng: RngLike = 0,
+) -> List[SolveRequest]:
+    """A Zipf-distributed request stream over a small graph universe.
+
+    The canonical cache-demo workload: ``universe`` distinct seeded ER
+    graphs, requested ``n_requests`` times with rank-``k`` probability
+    ∝ ``k**-zipf_exponent`` (heavily skewed toward a few hot graphs, like
+    the repeated sub-graphs QAOA² emits at deeper levels).  Each distinct
+    graph carries one fixed per-graph seed so repeats are exact repeats.
+    """
+    from repro.graphs.generators import erdos_renyi
+
+    gen = ensure_rng(rng)
+    graphs = [
+        erdos_renyi(n_nodes, edge_prob, weighted=weighted, rng=1000 + k)
+        for k in range(universe)
+    ]
+    seeds = [int(gen.integers(2**31)) for _ in range(universe)]
+    weights = np.arange(1, universe + 1, dtype=np.float64) ** -zipf_exponent
+    weights /= weights.sum()
+    picks = gen.choice(universe, size=n_requests, p=weights)
+    options = dict(options or {})
+    return [
+        SolveRequest(
+            graph=graphs[k], method=method, options=dict(options), seed=seeds[k]
+        )
+        for k in picks
+    ]
+
+
+__all__ = [
+    "MaxCutService",
+    "ServiceResult",
+    "SolveRequest",
+    "zipf_requests",
+]

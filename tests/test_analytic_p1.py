@@ -325,3 +325,57 @@ class TestAxesHelpers:
     def test_invalid_resolution(self):
         with pytest.raises(ValueError, match="resolution"):
             angle_axes(0)
+
+
+class TestCSRNeighbourGather:
+    """The O(E·deg) sparse fast path must match the dense-row reference."""
+
+    @pytest.mark.parametrize("graph", random_graphs(12) + edge_case_graphs())
+    def test_csr_matches_dense_grid(self, graph):
+        gammas, betas = angle_axes(11)
+        dense = AnalyticP1Energy(graph, mode="dense").grid(gammas, betas)
+        csr = AnalyticP1Energy(graph, mode="csr").grid(gammas, betas)
+        np.testing.assert_allclose(csr, dense, atol=1e-12)
+
+    def test_csr_matches_dense_energies(self):
+        graph = erdos_renyi(14, 0.15, weighted=True, rng=5)
+        rng = np.random.default_rng(0)
+        rows = rng.uniform(0.0, np.pi, size=(23, 2))
+        dense = AnalyticP1Energy(graph, mode="dense").energies(rows)
+        csr = AnalyticP1Energy(graph, mode="csr").energies(rows)
+        np.testing.assert_allclose(csr, dense, atol=1e-12)
+
+    def test_csr_chunking_boundaries(self, monkeypatch):
+        """Tiny scratch budgets exercise the (γ, edge-block) chunk loops."""
+        import repro.qaoa.analytic as analytic_module
+
+        graph = erdos_renyi(16, 0.2, weighted=True, rng=9)
+        gammas, betas = angle_axes(9)
+        reference = AnalyticP1Energy(graph, mode="csr").grid(gammas, betas)
+        monkeypatch.setattr(analytic_module, "TERMS_BUDGET_BYTES", 256)
+        chunked = AnalyticP1Energy(graph, mode="csr").grid(gammas, betas)
+        np.testing.assert_allclose(chunked, reference, atol=1e-12)
+
+    def test_auto_mode_selects_by_density(self):
+        from repro.qaoa.analytic import CSR_DENSITY_THRESHOLD
+
+        sparse = erdos_renyi(20, 0.1, rng=0)
+        dense = erdos_renyi(20, 0.8, rng=0)
+        assert sparse.density <= CSR_DENSITY_THRESHOLD
+        assert dense.density > CSR_DENSITY_THRESHOLD
+        assert AnalyticP1Energy(sparse).resolved_mode == "csr"
+        assert AnalyticP1Energy(dense).resolved_mode == "dense"
+        assert AnalyticP1Energy(dense, mode="csr").resolved_mode == "csr"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="analytic mode"):
+            AnalyticP1Energy(erdos_renyi(6, 0.5, rng=0), mode="sparse")
+
+    def test_lazy_construction(self):
+        """Neither representation is built before the first evaluation."""
+        graph = erdos_renyi(10, 0.3, rng=1)
+        evaluator = AnalyticP1Energy(graph, mode="csr")
+        assert evaluator._dense_rows is None and evaluator._csr_terms is None
+        evaluator.energy(np.array([0.3, 0.4]))
+        assert evaluator._csr_terms is not None
+        assert evaluator._dense_rows is None  # CSR path never densifies

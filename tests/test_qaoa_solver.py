@@ -190,3 +190,50 @@ class TestMultiStart:
         state = result.extra["final_state"]
         # No cost layer, zero angles: the state is still |+>^n.
         np.testing.assert_allclose(state, np.full(8, 1 / np.sqrt(8)), atol=1e-15)
+
+
+class TestParallelSequentialStarts:
+    """COBYLA/NM multi-start fans out through map_jobs (ISSUE 4 satellite)."""
+
+    @pytest.mark.parametrize("optimizer", ["cobyla", "nelder-mead"])
+    def test_thread_backend_bit_identical_to_serial(self, er_small, optimizer):
+        serial = QAOASolver(
+            layers=2, optimizer=optimizer, rng=0, maxiter=25, n_starts=4
+        ).solve(er_small)
+        threaded = QAOASolver(
+            layers=2, optimizer=optimizer, rng=0, maxiter=25, n_starts=4,
+            starts_executor="thread",
+        ).solve(er_small)
+        assert threaded.cut == serial.cut
+        assert threaded.energy == serial.energy
+        np.testing.assert_array_equal(threaded.params, serial.params)
+        assert threaded.nfev == serial.nfev
+
+    def test_executor_config_accepted(self, er_small):
+        from repro.hpc.executor import ExecutorConfig
+
+        result = QAOASolver(
+            layers=2, rng=0, maxiter=20, n_starts=3,
+            starts_executor=ExecutorConfig(backend="thread", max_workers=2),
+        ).solve(er_small)
+        reference = QAOASolver(
+            layers=2, rng=0, maxiter=20, n_starts=3
+        ).solve(er_small)
+        assert result.cut == reference.cut
+
+    def test_process_backend_rejected(self, er_small):
+        with pytest.raises(ValueError, match="process"):
+            QAOASolver(
+                layers=2, rng=0, n_starts=2, starts_executor="process"
+            ).solve(er_small)
+
+    def test_sampled_objective_stays_deterministic(self, er_small):
+        serial = QAOASolver(
+            layers=2, rng=0, maxiter=15, n_starts=3, objective="sampled"
+        ).solve(er_small)
+        threaded = QAOASolver(
+            layers=2, rng=0, maxiter=15, n_starts=3, objective="sampled",
+            starts_executor="thread",  # silently serialised: RNG-consuming
+        ).solve(er_small)
+        assert threaded.cut == serial.cut
+        assert threaded.nfev == serial.nfev

@@ -1,0 +1,433 @@
+"""MaxCutService: cache correctness, coalescing, batching, QAOA² parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.graphs.maxcut import cut_value
+from repro.hpc.executor import ExecutorConfig
+from repro.qaoa2 import QAOA2Solver
+from repro.qaoa2.solver import _solve_subgraph_job
+from repro.service import MaxCutService, SolveRequest, zipf_requests
+
+OPTIONS = {"layers": 2, "maxiter": 25}
+
+
+def payload(graph, seed, method="qaoa", options=OPTIONS, grid=None):
+    return {
+        "graph": graph,
+        "method": method,
+        "seed": seed,
+        "qaoa_options": dict(options),
+        "qaoa_grid": grid,
+        "gw_options": {},
+    }
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(12, 0.35, weighted=True, rng=7)
+
+
+# ---------------------------------------------------------------------------
+# Cache correctness (ISSUE 4 satellite: property-style tests a/b/c)
+# ---------------------------------------------------------------------------
+class TestCacheCorrectness:
+    def test_hit_is_bit_identical_to_cold_solve(self, graph):
+        """(a) A cache hit returns a bit-identical CutResult."""
+        service = MaxCutService(seed=0)
+        cold = service.solve(graph, seed=3, **OPTIONS)
+        hit = service.solve(graph, seed=3, **OPTIONS)
+        assert cold.status == "solved" and hit.status == "hit-memory"
+        assert hit.cut == cold.cut
+        assert np.array_equal(hit.assignment, cold.assignment)
+        assert hit.assignment.dtype == cold.assignment.dtype
+        # And the cold solve itself is the reference computation.
+        reference = _solve_subgraph_job(payload(graph, 3))
+        assert cold.cut == reference["cut"]
+        assert np.array_equal(cold.assignment, reference["assignment"])
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_isomorphic_relabeling_hits_and_unrelabels(self, seed):
+        """(b) A relabeled-isomorphic graph hits the same entry and the
+        returned assignment is correctly un-relabeled."""
+        graph = erdos_renyi(13, 0.3, weighted=True, rng=seed)
+        perm = np.random.default_rng(100 + seed).permutation(13)
+        relabeled = graph.relabel(perm)
+        service = MaxCutService(seed=0)
+        cold = service.solve(graph, seed=5, **OPTIONS)
+        hit = service.solve(relabeled, seed=5, **OPTIONS)
+        assert hit.status == "hit-memory"
+        assert service.metrics.count("misses") == 1
+        # Same cut value, and the un-relabeled assignment actually
+        # achieves it on the relabeled graph.
+        assert hit.cut == cold.cut
+        assert cut_value(relabeled, hit.assignment) == pytest.approx(
+            hit.cut, abs=1e-9
+        )
+
+    def test_coalesced_submissions_share_one_result(self, graph):
+        """(c) Coalesced concurrent submissions all receive the same
+        result."""
+        service = MaxCutService(seed=0)
+        tickets = [service.submit(graph, seed=9, **OPTIONS) for _ in range(4)]
+        results = [service.result(t) for t in tickets]
+        assert service.metrics.count("misses") == 1
+        assert service.metrics.count("coalesced") == 3
+        owner, rest = results[0], results[1:]
+        assert owner.status == "solved"
+        for res in rest:
+            assert res.status == "coalesced"
+            assert res.cut == owner.cut
+            assert res.assignment is owner.assignment  # same object, by design
+
+    def test_derived_seeds_are_order_independent(self, graph):
+        """seed=None derives from content: order/concurrency irrelevant."""
+        other = erdos_renyi(12, 0.35, weighted=True, rng=8)
+        a = MaxCutService(seed=42)
+        fwd = a.solve_many(
+            [SolveRequest(graph=graph, options=OPTIONS),
+             SolveRequest(graph=other, options=OPTIONS)]
+        )
+        b = MaxCutService(seed=42)
+        rev = b.solve_many(
+            [SolveRequest(graph=other, options=OPTIONS),
+             SolveRequest(graph=graph, options=OPTIONS)]
+        )
+        assert fwd[0].cut == rev[1].cut and fwd[0].seed == rev[1].seed
+        assert fwd[1].cut == rev[0].cut and fwd[1].seed == rev[0].seed
+        assert np.array_equal(fwd[0].assignment, rev[1].assignment)
+
+    def test_derived_seeds_shared_across_isomorphs(self, graph):
+        service = MaxCutService(seed=0)
+        relabeled = graph.relabel(
+            np.random.default_rng(4).permutation(graph.n_nodes)
+        )
+        first = service.solve(graph, **OPTIONS)
+        second = service.solve(relabeled, **OPTIONS)
+        assert second.status == "hit-memory"
+        assert second.seed == first.seed
+
+    def test_thread_executor_matches_serial(self, graph):
+        requests = [
+            SolveRequest(graph=erdos_renyi(11, 0.35, weighted=True, rng=k),
+                         options=OPTIONS, seed=k)
+            for k in range(4)
+        ]
+        serial = MaxCutService(seed=0).solve_many(requests)
+        threaded = MaxCutService(
+            seed=0, executor=ExecutorConfig(backend="thread", max_workers=3)
+        ).solve_many(requests)
+        for a, b in zip(serial, threaded):
+            assert a.cut == b.cut
+            assert np.array_equal(a.assignment, b.assignment)
+
+    def test_disk_tier_survives_restart(self, graph, tmp_path):
+        first = MaxCutService(seed=0, disk_dir=tmp_path)
+        cold = first.solve(graph, seed=2, **OPTIONS)
+        second = MaxCutService(seed=0, disk_dir=tmp_path)
+        warm = second.solve(graph, seed=2, **OPTIONS)
+        assert warm.status == "hit-disk"
+        assert warm.cut == cold.cut
+        assert np.array_equal(warm.assignment, cold.assignment)
+
+    def test_use_cache_false_always_solves(self, graph):
+        service = MaxCutService(seed=0, use_cache=False)
+        service.solve(graph, seed=1, **OPTIONS)
+        again = service.solve(graph, seed=1, **OPTIONS)
+        assert again.status == "solved"
+        assert service.metrics.count("hits_memory") == 0
+
+
+# ---------------------------------------------------------------------------
+# Lock-step batching
+# ---------------------------------------------------------------------------
+class TestLockstepBatching:
+    SPSA = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
+
+    def test_lockstep_matches_solo_solves(self, graph):
+        service = MaxCutService(seed=0)
+        requests = [
+            SolveRequest(graph=graph, options=self.SPSA, seed=s)
+            for s in (1, 2, 3)
+        ]
+        batched = service.solve_many(requests)
+        assert service.metrics.count("lockstep_batches") == 1
+        assert service.metrics.count("lockstep_jobs") == 3
+        for req, res in zip(requests, batched):
+            solo = _solve_subgraph_job(payload(graph, req.seed, options=self.SPSA))
+            assert res.cut == solo["cut"]
+            assert np.array_equal(res.assignment, solo["assignment"])
+            np.testing.assert_allclose(res.params, solo["params"], atol=1e-9)
+
+    def test_exact_flag_bypasses_lockstep(self, graph):
+        service = MaxCutService(seed=0)
+        requests = [
+            SolveRequest(graph=graph, options=self.SPSA, seed=s, exact=True)
+            for s in (1, 2)
+        ]
+        service.solve_many(requests)
+        assert service.metrics.count("lockstep_batches") == 0
+
+    def test_mixed_batch_routes_correctly(self, graph):
+        """SPSA pairs lock-step; the COBYLA job takes the generic path."""
+        service = MaxCutService(seed=0)
+        requests = [
+            SolveRequest(graph=graph, options=self.SPSA, seed=1),
+            SolveRequest(graph=graph, options=self.SPSA, seed=2),
+            SolveRequest(graph=graph, options=OPTIONS, seed=3),
+        ]
+        out = service.solve_many(requests)
+        assert service.metrics.count("lockstep_jobs") == 2
+        solo = _solve_subgraph_job(payload(graph, 3))
+        assert out[2].cut == solo["cut"]
+
+    def test_shared_diagonal_jobs_bit_identical(self, graph):
+        """Same-graph generic jobs share one cut diagonal; results match
+        the unshared reference exactly."""
+        service = MaxCutService(seed=0)
+        requests = [
+            SolveRequest(graph=graph, options=OPTIONS, seed=s) for s in (1, 2)
+        ]
+        out = service.solve_many(requests)
+        assert service.metrics.count("shared_diagonals") == 2
+        for req, res in zip(requests, out):
+            solo = _solve_subgraph_job(payload(graph, req.seed))
+            assert res.cut == solo["cut"]
+            assert np.array_equal(res.assignment, solo["assignment"])
+
+
+# ---------------------------------------------------------------------------
+# QAOA² through the service (acceptance criterion: identical cut values)
+# ---------------------------------------------------------------------------
+class TestQAOA2ServicePath:
+    @pytest.mark.parametrize(
+        "qaoa_options",
+        [
+            {"layers": 2, "maxiter": 20},
+            {"layers": 1, "maxiter": 25, "optimizer": "spsa"},
+        ],
+    )
+    def test_service_path_identical_to_direct(self, er_medium, qaoa_options):
+        direct = QAOA2Solver(
+            n_max_qubits=8, qaoa_options=dict(qaoa_options), rng=11
+        ).solve(er_medium)
+        service = MaxCutService(seed=0)
+        served = QAOA2Solver(
+            n_max_qubits=8, qaoa_options=dict(qaoa_options),
+            service=service, rng=11,
+        ).solve(er_medium)
+        assert served.cut == direct.cut
+        assert np.array_equal(served.assignment, direct.assignment)
+        assert served.n_subproblems == direct.n_subproblems
+        assert service.metrics.count("requests") == served.n_subproblems
+
+    def test_repeat_runs_hit_cache(self, er_medium):
+        service = MaxCutService(seed=0)
+        solver = QAOA2Solver(
+            n_max_qubits=8, qaoa_options={"layers": 2, "maxiter": 20},
+            service=service, rng=11,
+        )
+        first = solver.solve(er_medium)
+        misses = service.metrics.count("misses")
+        second = solver.solve(er_medium)
+        assert second.cut == first.cut
+        assert service.metrics.count("misses") == misses  # all hits
+        assert service.metrics.count("hits_memory") >= first.n_subproblems
+
+
+# ---------------------------------------------------------------------------
+# Facade / metrics / workload helpers
+# ---------------------------------------------------------------------------
+class TestFacade:
+    def test_submit_requires_graph_or_request(self):
+        service = MaxCutService(seed=0)
+        with pytest.raises(ValueError, match="graph or a request"):
+            service.submit()
+
+    def test_submit_rejects_both(self, graph):
+        service = MaxCutService(seed=0)
+        with pytest.raises(ValueError, match="not both"):
+            service.submit(graph, request=SolveRequest(graph=graph))
+
+    def test_unknown_ticket(self):
+        with pytest.raises(KeyError):
+            MaxCutService(seed=0).result(99)
+
+    def test_gw_requests_cacheable(self, graph):
+        service = MaxCutService(seed=0)
+        cold = service.solve(graph, method="gw", seed=4)
+        hit = service.solve(graph, method="gw", seed=4)
+        assert cold.method == "gw" and hit.status == "hit-memory"
+        assert hit.cut == cold.cut
+
+    def test_stats_report_renders(self, graph):
+        service = MaxCutService(seed=0)
+        service.solve(graph, seed=1, **OPTIONS)
+        service.solve(graph, seed=1, **OPTIONS)
+        report = service.stats_report()
+        assert "hits_memory" in report and "cache:" in report
+        assert "p95" in report
+
+    def test_export_knowledge_roundtrip(self, graph):
+        service = MaxCutService(seed=0)
+        service.solve(graph, seed=1, layers=1, maxiter=25)
+        kb = service.export_knowledge()
+        assert len(kb) == 1
+        assert kb.records[0].layers == 1
+        assert kb.records[0].qaoa_params is not None
+
+    def test_zipf_requests_shape(self):
+        requests = zipf_requests(
+            n_requests=30, universe=5, n_nodes=8, rng=0,
+            options={"layers": 1, "maxiter": 10},
+        )
+        assert len(requests) == 30
+        digests = {id(r.graph) for r in requests}
+        assert len(digests) <= 5
+        # Rank-1 graph must dominate a Zipf stream.
+        from collections import Counter
+
+        counts = Counter(id(r.graph) for r in requests)
+        assert max(counts.values()) >= 30 // 3
+
+    def test_cli_service_stats(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "service-stats", "--requests", "8", "--universe", "2",
+            "--nodes", "8", "--layers", "1", "--maxiter", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MaxCutService stats" in out and "hit_rate" in out
+
+
+class TestServiceSeedModes:
+    def _twin_triangle_graph(self):
+        """Two isomorphic 4-node components → isomorphic partition leaves."""
+        from repro.graphs import Graph
+
+        edges = []
+        for base in (0, 4):
+            edges += [
+                (base, base + 1, 1.0), (base + 1, base + 2, 2.0),
+                (base, base + 2, 1.5), (base + 2, base + 3, 1.0),
+            ]
+        return Graph.from_edges(8, edges)
+
+    def test_canonical_seeds_dedup_isomorphic_leaves(self):
+        graph = self._twin_triangle_graph()
+        service = MaxCutService(seed=0)
+        result = QAOA2Solver(
+            n_max_qubits=4, qaoa_options={"layers": 2, "maxiter": 20},
+            service=service, service_seeds="canonical", rng=5,
+        ).solve(graph)
+        # Two isomorphic leaves + one merged graph, but only two solves:
+        # the second leaf is served from the first's cache entry.
+        assert result.n_subproblems == 3
+        assert service.metrics.count("misses") == 2
+        assert (
+            service.metrics.count("hits_memory")
+            + service.metrics.count("coalesced")
+        ) == 1
+        assert cut_value(graph, result.assignment) == pytest.approx(
+            result.cut, abs=1e-9
+        )
+
+    def test_unknown_seed_mode_rejected(self, er_medium):
+        solver = QAOA2Solver(
+            n_max_qubits=8, service=MaxCutService(seed=0),
+            service_seeds="bogus", rng=0,
+        )
+        with pytest.raises(ValueError, match="service_seeds"):
+            solver.solve(er_medium)
+
+    def test_qaoa2_executor_passes_through_service(self, er_medium):
+        """--backend thread keeps its meaning on the service path."""
+        direct = QAOA2Solver(
+            n_max_qubits=8, qaoa_options={"layers": 2, "maxiter": 20}, rng=11,
+        ).solve(er_medium)
+        served = QAOA2Solver(
+            n_max_qubits=8, qaoa_options={"layers": 2, "maxiter": 20},
+            executor=ExecutorConfig(backend="thread", max_workers=3),
+            service=MaxCutService(seed=0), rng=11,
+        ).solve(er_medium)
+        assert served.cut == direct.cut
+        assert np.array_equal(served.assignment, direct.assignment)
+
+
+class TestSchedulerGuards:
+    def test_lockstep_respects_max_qubits(self):
+        """Oversized graphs must fall through to the solver's clean error,
+        not attempt a 2**n lock-step batch."""
+        graph = erdos_renyi(30, 0.1, rng=0)
+        service = MaxCutService(seed=0)
+        options = {"layers": 1, "maxiter": 10, "optimizer": "spsa",
+                   "max_qubits": 26}
+        requests = [
+            SolveRequest(graph=graph, options=options, seed=s) for s in (1, 2)
+        ]
+        with pytest.raises(ValueError, match="max_qubits"):
+            service.solve_many(requests)
+        assert service.metrics.count("lockstep_batches") == 0
+
+    def test_fingerprint_memoised_on_graph(self):
+        from repro.service import canonical_fingerprint
+
+        graph = erdos_renyi(12, 0.3, rng=0)
+        first = canonical_fingerprint(graph)
+        assert canonical_fingerprint(graph) is first
+        # Non-default budgets bypass (and do not poison) the memo.
+        other = canonical_fingerprint(graph, max_leaves=2)
+        assert canonical_fingerprint(graph) is first
+        assert other.digest == first.digest or not other.exact
+
+
+class TestReviewRegressions:
+    """Pins for review findings: exact/batched cache isolation, result
+    immutability, bounded ticket retention."""
+
+    SPSA = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
+
+    def test_exact_requests_never_served_lockstep_entries(self, graph):
+        service = MaxCutService(seed=0)
+        # Populate the cache through a lock-step batch...
+        service.solve_many(
+            [SolveRequest(graph=graph, options=self.SPSA, seed=s)
+             for s in (1, 2, 3)]
+        )
+        # ...then ask for seed 1 under the bit-identical contract.
+        exact = service.solve_many(
+            [SolveRequest(graph=graph, options=self.SPSA, seed=1, exact=True)]
+        )[0]
+        assert exact.status == "solved"  # disjoint cache namespace
+        reference = _solve_subgraph_job(
+            payload(graph, 1, options=self.SPSA)
+        )
+        assert exact.cut == reference["cut"]
+        assert exact.params == reference["params"]  # bitwise, not just close
+
+    def test_result_mutation_does_not_corrupt_cache(self, graph):
+        service = MaxCutService(seed=0)
+        cold = service.solve(graph, seed=3, layers=1, maxiter=15)
+        cold.params[0] = 999.0
+        cold.extra["injected"] = True
+        hit = service.solve(graph, seed=3, layers=1, maxiter=15)
+        assert hit.status == "hit-memory"
+        assert hit.params[0] != 999.0
+        assert "injected" not in hit.extra
+
+    def test_unclaimed_tickets_bounded(self, graph):
+        service = MaxCutService(seed=0)
+        service.max_retained_tickets = 3
+        tickets = []
+        for k in range(5):
+            tickets.append(service.submit(graph, seed=k, layers=1, maxiter=10))
+            service.flush()  # never claimed
+        assert len(service._tickets) == 3
+        with pytest.raises(KeyError):
+            service.result(tickets[0])  # oldest dropped
+        assert service.result(tickets[-1]).cut >= 0.0  # newest retained

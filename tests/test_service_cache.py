@@ -1,0 +1,136 @@
+"""Two-tier result cache: LRU accounting, disk tier, knowledge export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.service.cache import ENTRY_OVERHEAD_BYTES, CacheEntry, ResultCache
+from repro.service.fingerprint import canonical_fingerprint
+
+
+def make_entry(
+    digest, n_nodes=6, seed=0, params=None, layers=None, extra=None,
+    graph_seed=0,
+):
+    """``graph_seed`` pins the topology (and so the entry byte size);
+    ``seed`` varies the stored solution."""
+    gen = np.random.default_rng(seed)
+    graph = erdos_renyi(n_nodes, 0.5, weighted=True, rng=graph_seed)
+    fp = canonical_fingerprint(graph)
+    return CacheEntry(
+        digest=digest,
+        n_nodes=n_nodes,
+        canon_u=fp.canon_u,
+        canon_v=fp.canon_v,
+        canon_w=fp.canon_w,
+        assignment=gen.integers(0, 2, n_nodes).astype(np.uint8),
+        cut=float(gen.uniform(1, 10)),
+        method="qaoa",
+        seed=seed,
+        params=params,
+        layers=layers,
+        rhobeg=0.5 if layers else None,
+        extra=dict(extra or {}),
+    )
+
+
+class TestMemoryTier:
+    def test_put_get_roundtrip(self):
+        cache = ResultCache()
+        entry = make_entry("d0")
+        cache.put(entry)
+        got = cache.get("d0")
+        assert got is entry
+        assert got.hits == 1
+        assert cache.get("missing") is None
+
+    def test_lru_eviction_by_bytes(self):
+        entry_bytes = make_entry("x").nbytes
+        cache = ResultCache(max_bytes=3 * entry_bytes)
+        for i in range(3):
+            cache.put(make_entry(f"d{i}", seed=i))
+        assert len(cache) == 3
+        cache.get("d0")  # touch: d1 becomes least recently used
+        cache.put(make_entry("d3", seed=3))
+        assert cache.get("d1") is None  # evicted
+        assert cache.get("d0") is not None
+        assert cache.metrics.count("evictions") == 1
+        assert cache.nbytes <= cache.max_bytes
+
+    def test_nbytes_tracks_replacement(self):
+        cache = ResultCache()
+        cache.put(make_entry("d0"))
+        before = cache.nbytes
+        cache.put(make_entry("d0", seed=9))  # same digest, replaced
+        assert len(cache) == 1
+        assert cache.nbytes == before
+
+    def test_entry_nbytes_accounts_arrays(self):
+        entry = make_entry("d0")
+        assert entry.nbytes >= ENTRY_OVERHEAD_BYTES + entry.assignment.nbytes
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+
+
+class TestDiskTier:
+    def test_write_through_and_reload(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "kb")
+        entry = make_entry("d0", params=[0.1, 0.2], layers=1, extra={"qaoa_cut": 3.5})
+        cache.put(entry)
+        assert cache.disk_entries() == 1
+
+        fresh = ResultCache(disk_dir=tmp_path / "kb")  # simulates a restart
+        got, tier = fresh.get_tiered("d0")
+        assert tier == "disk"
+        assert got is not entry
+        assert got.cut == entry.cut
+        assert np.array_equal(got.assignment, entry.assignment)
+        assert np.array_equal(got.canon_w, entry.canon_w)
+        assert got.params == [0.1, 0.2]
+        assert got.extra == {"qaoa_cut": 3.5}
+        # Promoted: second read is a memory hit.
+        assert fresh.get_tiered("d0")[1] == "memory"
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        entry_bytes = make_entry("x").nbytes
+        cache = ResultCache(max_bytes=2 * entry_bytes, disk_dir=tmp_path)
+        for i in range(4):
+            cache.put(make_entry(f"d{i}", seed=i))
+        assert len(cache) <= 2
+        assert cache.get_tiered("d0")[1] == "disk"  # evicted but persisted
+
+    def test_corrupt_file_is_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+
+class TestKnowledgeExport:
+    def test_exports_angle_records(self):
+        cache = ResultCache()
+        cache.put(
+            make_entry(
+                "d0", params=[0.3, 0.4], layers=1,
+                extra={"qaoa_cut": 4.0, "gw_cut": 3.0},
+            )
+        )
+        cache.put(make_entry("d1", seed=1))  # no params: skipped
+        kb = cache.export_knowledge()
+        assert len(kb) == 1
+        rec = kb.records[0]
+        assert rec.layers == 1 and rec.qaoa_params == [0.3, 0.4]
+        assert rec.qaoa_cut == 4.0 and rec.gw_cut == 3.0
+        assert rec.qaoa_win
+
+    def test_warm_start_retrievable(self):
+        cache = ResultCache()
+        entry = make_entry("d0", n_nodes=10, params=[0.2, 0.5], layers=1)
+        cache.put(entry)
+        kb = cache.export_knowledge()
+        warm = kb.warm_start_params(entry.n_nodes, entry.density, entry.weighted)
+        assert warm is not None
+        np.testing.assert_allclose(warm, [0.2, 0.5])

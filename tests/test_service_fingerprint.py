@@ -1,0 +1,120 @@
+"""Canonical graph fingerprints: relabeling invariance and soundness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, erdos_renyi
+from repro.graphs.maxcut import cut_value
+from repro.service.fingerprint import (
+    canonical_fingerprint,
+    config_token,
+    request_digest,
+)
+
+
+def random_permutations(n, count, seed=0):
+    gen = np.random.default_rng(seed)
+    return [gen.permutation(n) for _ in range(count)]
+
+
+class TestCanonicalInvariance:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("weighted", [False, True])
+    def test_relabeling_invariant_digest(self, seed, weighted):
+        graph = erdos_renyi(12, 0.3, weighted=weighted, rng=seed)
+        fp = canonical_fingerprint(graph)
+        for perm in random_permutations(12, 4, seed=seed):
+            relabeled = graph.relabel(perm)
+            fp2 = canonical_fingerprint(relabeled)
+            assert fp2.digest == fp.digest
+            assert fp2.same_canonical_graph(fp)
+
+    def test_identical_graph_identical_digest(self, er_small):
+        assert (
+            canonical_fingerprint(er_small).digest
+            == canonical_fingerprint(er_small).digest
+        )
+
+    def test_different_weights_different_digest(self, weighted_square):
+        other = weighted_square.with_weights(weighted_square.w + 0.25)
+        assert (
+            canonical_fingerprint(weighted_square).digest
+            != canonical_fingerprint(other).digest
+        )
+
+    def test_different_topology_different_digest(self):
+        a = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        b = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert canonical_fingerprint(a).digest != canonical_fingerprint(b).digest
+
+    def test_symmetric_graphs_within_budget(self):
+        """Cycles have 2n automorphisms; search must still canonicalise."""
+        cycle = Graph.from_edges(8, [(i, (i + 1) % 8) for i in range(8)])
+        fp = canonical_fingerprint(cycle)
+        assert fp.exact
+        for perm in random_permutations(8, 4, seed=3):
+            assert canonical_fingerprint(cycle.relabel(perm)).digest == fp.digest
+
+    def test_budget_fallback_is_sound(self):
+        """Past the leaf budget the fingerprint degrades to refinement-only:
+        still deterministic for byte-equal graphs, flagged inexact."""
+        cycle = Graph.from_edges(10, [(i, (i + 1) % 10) for i in range(10)])
+        fp = canonical_fingerprint(cycle, max_leaves=2)
+        assert not fp.exact
+        assert canonical_fingerprint(cycle, max_leaves=2).digest == fp.digest
+        # Inexact and exact digests never collide (the flag is hashed).
+        assert fp.digest != canonical_fingerprint(cycle).digest
+
+    def test_large_graph_skips_search(self):
+        graph = erdos_renyi(40, 0.2, rng=0)
+        fp = canonical_fingerprint(graph, max_search_nodes=10)
+        assert fp.n_nodes == 40  # still produces a usable fingerprint
+
+    def test_edgeless_graph(self):
+        fp = canonical_fingerprint(Graph.from_edges(5, []))
+        assert fp.exact and fp.n_nodes == 5 and len(fp.canon_u) == 0
+
+
+class TestAssignmentMapping:
+    def test_round_trip(self, er_small):
+        fp = canonical_fingerprint(er_small)
+        gen = np.random.default_rng(0)
+        x = gen.integers(0, 2, er_small.n_nodes).astype(np.uint8)
+        assert np.array_equal(fp.from_canonical(fp.to_canonical(x)), x)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cut_preserved_across_relabeling(self, seed):
+        graph = erdos_renyi(14, 0.35, weighted=True, rng=seed)
+        perm = np.random.default_rng(seed).permutation(14)
+        relabeled = graph.relabel(perm)
+        fp1 = canonical_fingerprint(graph)
+        fp2 = canonical_fingerprint(relabeled)
+        gen = np.random.default_rng(1)
+        x1 = gen.integers(0, 2, 14).astype(np.uint8)
+        # Map graph-1 assignment into graph-2 labels via canonical space.
+        x2 = fp2.from_canonical(fp1.to_canonical(x1))
+        assert cut_value(graph, x1) == pytest.approx(
+            cut_value(relabeled, x2), abs=1e-9
+        )
+
+
+class TestRequestDigest:
+    def test_seed_and_options_distinguish(self):
+        base = dict(method="qaoa", options={"layers": 2}, seed=1)
+        d0 = request_digest("abc", **base)
+        assert request_digest("abc", **base) == d0
+        assert request_digest("abc", method="qaoa", options={"layers": 3}, seed=1) != d0
+        assert request_digest("abc", method="gw", options={"layers": 2}, seed=1) != d0
+        assert request_digest("abc", method="qaoa", options={"layers": 2}, seed=2) != d0
+        assert request_digest("xyz", **base) != d0
+
+    def test_option_order_irrelevant(self):
+        a = request_digest("g", method="qaoa", options={"layers": 2, "maxiter": 30})
+        b = request_digest("g", method="qaoa", options={"maxiter": 30, "layers": 2})
+        assert a == b
+
+    def test_config_token_handles_numpy(self):
+        token = config_token({"warm": np.array([0.1, 0.2]), "n": np.int64(3)})
+        assert "0.1" in token and '"n":3' in token
