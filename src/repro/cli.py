@@ -40,6 +40,12 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
 
 
+def _backend_choices() -> tuple:
+    from repro.quantum.backend import available_backends
+
+    return ("auto",) + available_backends()
+
+
 def cmd_solve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     print(f"instance: {graph}")
@@ -48,10 +54,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
 
         result = QAOASolver(
             layers=args.layers, rhobeg=args.rhobeg, selection=args.selection,
-            rng=args.seed,
+            backend=args.backend, rng=args.seed,
         ).solve(graph)
         print(f"QAOA cut = {result.cut:.4f}  (F_p = {result.energy:.4f}, "
-              f"{result.nfev} evaluations)")
+              f"{result.nfev} evaluations, "
+              f"backend {result.extra.get('backend', '?')})")
     elif args.method == "gw":
         from repro.classical import goemans_williamson
 
@@ -64,7 +71,8 @@ def cmd_solve(args: argparse.Namespace) -> int:
         result = QAOA2Solver(
             n_max_qubits=args.qubits,
             subgraph_method=args.subgraph_method,
-            qaoa_options={"layers": args.layers, "rhobeg": args.rhobeg},
+            qaoa_options={"layers": args.layers, "rhobeg": args.rhobeg,
+                          "backend": args.backend},
             rng=args.seed,
         ).solve(graph)
         print(f"QAOA² cut = {result.cut:.4f}  ({result.n_subproblems} "
@@ -121,7 +129,8 @@ def cmd_scaling(args: argparse.Namespace) -> int:
         node_counts=tuple(args.node_counts),
         edge_prob=args.edge_prob,
         n_max_qubits=args.qubits,
-        qaoa_options={"layers": args.layers, "maxiter": args.maxiter},
+        qaoa_options={"layers": args.layers, "maxiter": args.maxiter,
+                      "backend": args.sv_backend},
         gw_fail_above=args.gw_fail_above,
         executor=ExecutorConfig(backend=args.backend),
         service=service,
@@ -145,7 +154,8 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
         n_nodes=args.nodes,
         edge_prob=args.edge_prob,
         zipf_exponent=args.zipf,
-        options={"layers": args.layers, "maxiter": args.maxiter},
+        options={"layers": args.layers, "maxiter": args.maxiter,
+                 "backend": args.backend},
         rng=args.seed,
     )
     results = service.solve_many(requests)
@@ -153,6 +163,16 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
         f"served {len(results)} requests over {args.universe} distinct "
         f"graphs (zipf s={args.zipf})"
     )
+    if args.compact:
+        if args.disk_dir is None:
+            print("--compact ignored: no --disk-dir tier configured")
+        else:
+            stats = service.cache.compact()
+            print(
+                f"compacted disk tier: {stats['entries']} entries, merged "
+                f"{stats['merged_files']} per-entry files into "
+                f"{stats['data_bytes']} data bytes"
+            )
     print()
     print(service.stats_report())
     return 0
@@ -207,6 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
                          default="top1")
     p_solve.add_argument("--subgraph-method", choices=("qaoa", "gw", "best"),
                          default="best")
+    p_solve.add_argument("--backend", choices=_backend_choices(), default="auto",
+                         help="statevector evolution backend for QAOA solves")
     p_solve.set_defaults(func=cmd_solve)
 
     p_grid = sub.add_parser("gridsearch", help="the Fig. 3 sweep")
@@ -233,6 +255,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_scale.add_argument("--use-service", action="store_true",
                          help="route leaf solves through a shared MaxCutService "
                               "(cache + coalescing) and print its stats")
+    p_scale.add_argument("--sv-backend", choices=_backend_choices(),
+                         default="auto",
+                         help="statevector evolution backend for QAOA leaf "
+                              "solves (--backend is the executor backend)")
     p_scale.add_argument("--seed", type=int, default=0)
     p_scale.set_defaults(func=cmd_scaling)
 
@@ -251,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--maxiter", type=int, default=30)
     p_stats.add_argument("--disk-dir", type=str, default=None,
                          help="enable the JSON disk cache tier here")
+    p_stats.add_argument("--compact", action="store_true",
+                         help="compact the disk tier (merge per-entry JSON "
+                              "files into one indexed store) after the stream")
+    p_stats.add_argument("--backend", choices=_backend_choices(), default="auto",
+                         help="statevector evolution backend for QAOA solves")
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.set_defaults(func=cmd_service_stats)
 

@@ -17,11 +17,8 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import cut_diagonal
-from repro.quantum.statevector import (
-    apply_rx_layer,
-    plus_state,
-    probabilities,
-)
+from repro.quantum.backend import resolve_backend
+from repro.quantum.statevector import probabilities
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -30,9 +27,22 @@ class MaxCutEnergy:
 
     Parameters are packed ``[γ_1..γ_p, β_1..β_p]`` (gammas first), matching
     :func:`repro.synth.synthesis.qaoa_ansatz`.
+
+    ``backend`` selects the statevector-evolution backend for both the
+    pointwise path and the lazily built sweep engine (``"auto"``, a
+    registered name, or an instance — see :mod:`repro.quantum.backend`).
+    ``None`` (the default) pins the bit-identical ``numpy`` reference, so
+    a bare ``MaxCutEnergy(graph)`` reproduces the seed implementation
+    exactly at any size.
     """
 
-    def __init__(self, graph: Graph, *, diagonal: Optional[np.ndarray] = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        diagonal: Optional[np.ndarray] = None,
+        backend: object = None,
+    ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")
         self.graph = graph
@@ -43,6 +53,10 @@ class MaxCutEnergy:
         self.diagonal = diagonal if diagonal is not None else cut_diagonal(graph)
         if self.diagonal.shape != (1 << self.n_qubits,):
             raise ValueError("diagonal length does not match the graph")
+        self._backend_spec = backend
+        self.backend = resolve_backend(
+            "numpy" if backend is None else backend, n_qubits=self.n_qubits
+        )
         self._engine = None  # lazy SweepEngine for the batch path
         self._analytic = None  # lazy AnalyticP1Energy for the p=1 fast path
 
@@ -55,13 +69,9 @@ class MaxCutEnergy:
         return params[:p], params[p:]
 
     def statevector(self, params: np.ndarray) -> np.ndarray:
-        """|ψ_p(β, γ)⟩ via the diagonal fast path (paper Eq. 2)."""
-        gammas, betas = self.split_params(params)
-        state = plus_state(self.n_qubits)
-        for gamma, beta in zip(gammas, betas):
-            state *= np.exp(-1j * gamma * self.diagonal)
-            state = apply_rx_layer(state, beta)
-        return state
+        """|ψ_p(β, γ)⟩ via the configured backend (paper Eq. 2)."""
+        self.split_params(params)  # shape validation, same errors as ever
+        return self.backend.evolve_state(self.diagonal, np.asarray(params, float))
 
     def expectation(self, params: np.ndarray) -> float:
         """Exact F_p(β, γ) = ⟨ψ|H_C|ψ⟩ (paper Eq. 3)."""
@@ -92,12 +102,22 @@ class MaxCutEnergy:
 
     def engine(self, **engine_kwargs) -> "SweepEngine":
         """The batched evaluator for this graph (built lazily, shares the
-        cached diagonal).  See :class:`repro.qaoa.engine.SweepEngine`."""
+        cached diagonal and the backend spec).  See
+        :class:`repro.qaoa.engine.SweepEngine`."""
         from repro.qaoa.engine import SweepEngine
 
         if self._engine is None or engine_kwargs:
+            transient = bool(engine_kwargs)
+            # The default spec (None) pins numpy for the engine too, so a
+            # bare MaxCutEnergy keeps its seed-identical contract on both
+            # the pointwise and batched paths; auto/fused arrive only via
+            # an explicit backend= (as QAOASolver passes).
+            engine_kwargs.setdefault(
+                "backend",
+                "numpy" if self._backend_spec is None else self._backend_spec,
+            )
             engine = SweepEngine(self.graph, diagonal=self.diagonal, **engine_kwargs)
-            if engine_kwargs:
+            if transient:
                 return engine
             self._engine = engine
         return self._engine

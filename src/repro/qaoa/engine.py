@@ -12,15 +12,15 @@ Batching layout
 A batch of ``B`` parameter vectors (rows of a ``(B, 2p)`` matrix, packed
 ``[γ_1..γ_p, β_1..β_p]`` like everywhere else in the repo) is simulated as
 a single ``(B, 2**n)`` complex128 array: batch index leading, basis index
-trailing.  Each QAOA layer is then
-
-* one batched diagonal phase multiply
-  (:func:`repro.quantum.statevector.apply_phases_batch`) with per-row γ,
-* one batched mixer pass (:func:`repro.quantum.statevector.apply_rx_layer`
-  with a ``(B,)`` β column),
-
-so the Python interpreter runs ``O(p · n)`` ops per *batch* instead of per
-*vector*, and every op streams contiguous memory.
+trailing.  The evolution itself is delegated to a pluggable
+:class:`repro.quantum.backend.StatevectorBackend` (``backend=`` knob:
+``"auto"`` | a registered name | an instance): ``numpy`` is the
+bit-identical reference over the seed kernels (one batched diagonal phase
+multiply plus one batched mixer pass per layer), ``fused`` applies the
+mixer through its blocked Walsh–Hadamard diagonalisation — the default
+``auto`` policy picks it from 14 qubits, where the per-qubit NumPy pass
+count is the bottleneck.  Either way the Python interpreter runs
+``O(p · n)`` ops per *batch* instead of per *vector*.
 
 Memory model
 ------------
@@ -66,20 +66,18 @@ pairs of all starts as one ``(2S, 2p)`` batch per iteration via
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.maxcut import cut_diagonal
 from repro.qaoa.analytic import AnalyticP1Energy
-from repro.quantum.statevector import (
-    apply_phases_batch,
-    apply_rx_layer,
-    expectation_diagonal_batch,
-    plus_state_batch,
-    walsh_hadamard_batch,
+from repro.quantum.backend import (
+    ScratchPool,
+    StatevectorBackend,
+    resolve_backend,
+    shared_pool,
 )
 
 DEFAULT_CHUNK_SIZE = 64
@@ -106,55 +104,9 @@ def spectral_row_bytes(n_qubits: int) -> int:
     return 2 * (1 << n_qubits) * 16
 
 
-class ScratchPool:
-    """Reusable complex128 work buffers keyed by (tag, shape).
-
-    A batched evaluation needs two ``(chunk, 2**n)`` arrays per pass; the
-    pool hands back the same allocation for the same shape so a QAOA² run
-    solving dozens of equal-sized partitions never reallocates.  Storage is
-    thread-local: the ``hpc.executor`` thread backend runs sub-graph jobs
-    concurrently, and each worker thread must not scribble over another's
-    in-flight states.  Reuse therefore happens per worker, which is exactly
-    the repeated-solve case; ``n_buffers``/``nbytes`` report the calling
-    thread's view.
-    """
-
-    def __init__(self) -> None:
-        self._local = threading.local()
-
-    def _buffers(self) -> Dict[Tuple[str, Tuple[int, ...]], np.ndarray]:
-        buffers = getattr(self._local, "buffers", None)
-        if buffers is None:
-            buffers = {}
-            self._local.buffers = buffers
-        return buffers
-
-    def take(self, tag: str, shape: Tuple[int, ...]) -> np.ndarray:
-        buffers = self._buffers()
-        key = (tag, tuple(shape))
-        buf = buffers.get(key)
-        if buf is None:
-            buf = np.empty(shape, dtype=np.complex128)
-            buffers[key] = buf
-        return buf
-
-    def clear(self) -> None:
-        self._buffers().clear()
-
-    @property
-    def n_buffers(self) -> int:
-        return len(self._buffers())
-
-    def nbytes(self) -> int:
-        return sum(buf.nbytes for buf in self._buffers().values())
-
-
-_SHARED_POOL = ScratchPool()
-
-
-def shared_pool() -> ScratchPool:
-    """The process-wide buffer pool used by engines unless told otherwise."""
-    return _SHARED_POOL
+# ScratchPool and shared_pool now live in repro.quantum.backend.scratch
+# (with an LRU byte budget); re-imported above and re-exported below for
+# the historical repro.qaoa import path.
 
 
 class SweepEngine:
@@ -172,6 +124,7 @@ class SweepEngine:
         diagonal: Optional[np.ndarray] = None,
         chunk_size: Optional[int] = None,
         pool: Optional[ScratchPool] = None,
+        backend: object = "auto",
     ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")
@@ -188,8 +141,18 @@ class SweepEngine:
         # not allocate it as a construction side effect.
         self._diagonal = diagonal
         self.chunk_size = chunk_size
-        self.pool = pool if pool is not None else _SHARED_POOL
+        self.pool = pool if pool is not None else shared_pool()
+        # Resolved eagerly (the policy is a pure function of n), so a bad
+        # backend name fails at construction, not mid-sweep.
+        self.backend: StatevectorBackend = resolve_backend(
+            backend, n_qubits=self.n_qubits
+        )
         self._analytic: Optional[AnalyticP1Energy] = None
+
+    @property
+    def backend_name(self) -> str:
+        """The resolved statevector backend's registry name."""
+        return self.backend.name
 
     @property
     def diagonal(self) -> np.ndarray:
@@ -220,35 +183,16 @@ class SweepEngine:
         return self.analytic.energies(params_matrix)
 
     # ------------------------------------------------------------------
-    def _params_matrix(self, params_matrix: np.ndarray) -> np.ndarray:
-        mat = np.asarray(params_matrix, dtype=np.float64)
-        if mat.ndim == 1:
-            mat = mat[None, :]
-        if mat.ndim != 2:
-            raise ValueError(f"expected (B, 2p) matrix, got ndim={mat.ndim}")
-        if mat.shape[1] == 0 or mat.shape[1] % 2 != 0:
-            raise ValueError(
-                "parameter rows must have even positive length (γs then βs)"
-            )
-        return mat
+    @staticmethod
+    def _params_matrix(params_matrix: np.ndarray) -> np.ndarray:
+        """Canonicalise to ``(B, 2p)`` — one shared implementation with
+        the backend layer, so both raise identical errors."""
+        return StatevectorBackend._params_matrix(params_matrix)
 
     def _evolve_chunk(self, mat: np.ndarray) -> np.ndarray:
         """Evolve one chunk of parameter rows; returns the pooled state
         buffer (valid until the next engine call on the same pool)."""
-        m = mat.shape[0]
-        p = mat.shape[1] // 2
-        dim = 1 << self.n_qubits
-        states = plus_state_batch(
-            self.n_qubits, m, out=self.pool.take("states", (m, dim))
-        )
-        scratch = self.pool.take("phases", (m, dim))
-        for layer in range(p):
-            apply_phases_batch(
-                states, self.diagonal, mat[:, layer], scratch=scratch
-            )
-            # The phase scratch doubles as the mixer's ping-pong buffer.
-            apply_rx_layer(states, mat[:, p + layer], scratch=scratch)
-        return states
+        return self.backend.evolve_batch(self.diagonal, mat, pool=self.pool)
 
     # ------------------------------------------------------------------
     def energies(self, params_matrix: np.ndarray) -> np.ndarray:
@@ -262,7 +206,7 @@ class SweepEngine:
         for start in range(0, mat.shape[0], self.chunk_size):
             stop = min(start + self.chunk_size, mat.shape[0])
             states = self._evolve_chunk(mat[start:stop])
-            out[start:stop] = expectation_diagonal_batch(states, self.diagonal)
+            out[start:stop] = self.backend.expectations_batch(states, self.diagonal)
         return out
 
     def energy(self, params: np.ndarray) -> float:
@@ -405,12 +349,15 @@ class SweepEngine:
         for start in range(0, len(gammas), rows):
             stop = min(start + rows, len(gammas))
             m = stop - start
-            states = plus_state_batch(n, m, out=self.pool.take("states", (m, dim)))
+            backend = self.backend
+            states = backend.plus_state_batch(
+                n, m, out=self.pool.take("states", (m, dim))
+            )
             scratch = self.pool.take("phases", (m, dim))
-            apply_phases_batch(
+            backend.apply_cost_layer(
                 states, self.diagonal, gammas[start:stop], scratch=scratch
             )
-            walsh_hadamard_batch(states, scratch=scratch)
+            backend.walsh_transform(states, scratch=scratch)
             # Axis layout: axis 1 + (n-1-q) of the (m, 2, ..., 2) view is
             # qubit q (little-endian index convention).
             view = states.reshape((m,) + (2,) * n)

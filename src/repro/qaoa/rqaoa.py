@@ -214,8 +214,10 @@ def rqaoa_solve(
             # buffers back the variational loop, and the solver's final
             # statevector is reused for the correlation sweep (no
             # re-evolve — the pre-refactor path rebuilt the diagonal AND
-            # the state a second time).
-            engine = SweepEngine(current)
+            # the state a second time).  The engine inherits the solver's
+            # statevector-backend spec, so `solver_options={"backend":
+            # ...}` reaches every per-round evolve.
+            engine = SweepEngine(current, backend=round_solver.backend)
             result = replace(round_solver, engine=engine, keep_state=True).solve(
                 current
             )

@@ -110,6 +110,15 @@ class QAOASolver:
         dominant per-solve setup cost for repeated solves on one graph,
         e.g. a QAOA² sub-graph option grid) and backs the batched
         statevector objective.  Ignored if built for a different graph.
+    backend:
+        Statevector-evolution backend for every evolve in the solve —
+        pointwise and batched objectives and the final selection state
+        (``"auto"`` | a registered name | an instance; see
+        :mod:`repro.quantum.backend`).  ``auto`` (default) picks the
+        fused mixer kernel from 14 qubits and the bit-identical ``numpy``
+        reference below.  When ``engine`` is supplied its backend wins,
+        keeping the objective and the attached engine consistent.  The
+        resolved name is recorded in ``result.extra["backend"]``.
     starts_executor:
         Optional :class:`repro.hpc.executor.ExecutorConfig` (or backend
         name string) for the sequential-optimizer multi-start fallback:
@@ -145,7 +154,8 @@ class QAOASolver:
     noise: Optional[object] = None  # repro.quantum.noise.NoiseModel
     noise_trajectories: int = 8
     engine: Optional[object] = None  # repro.qaoa.engine.SweepEngine
-    starts_executor: Optional[object] = None  # ExecutorConfig | backend name
+    backend: object = "auto"  # statevector backend spec (repro.quantum.backend)
+    starts_executor: Optional[object] = None  # executor config | backend name
     rng: RngLike = None
     max_qubits: int = 26
 
@@ -157,13 +167,20 @@ class QAOASolver:
             )
         gen = ensure_rng(self.rng)
         if self.engine is not None and self.engine.graph is graph:
-            energy = MaxCutEnergy(graph, diagonal=self.engine.diagonal)
+            # The engine's backend wins so the pointwise objective, the
+            # batched objective and the final evolve all agree.
+            energy = MaxCutEnergy(
+                graph, diagonal=self.engine.diagonal, backend=self.engine.backend
+            )
             energy.attach_engine(self.engine)
         else:
-            energy = MaxCutEnergy(graph)
+            energy = MaxCutEnergy(graph, backend=self.backend)
+        backend_name = energy.backend.name
         if graph.n_edges == 0:
             assignment = np.zeros(graph.n_nodes, dtype=np.uint8)
-            extra = {"final_state": plus_state(graph.n_nodes)} if self.keep_state else {}
+            extra = {"backend": backend_name}
+            if self.keep_state:
+                extra["final_state"] = plus_state(graph.n_nodes)
             return QAOAResult(
                 assignment, 0.0, 0.0, np.zeros(2 * self.layers), self.layers, 0,
                 extra=extra,
@@ -223,8 +240,9 @@ class QAOASolver:
         else:
             state = energy.statevector(opt.x)
         assignment, cut, selection_info = self._select(graph, energy, state, gen)
+        selection_info = dict(selection_info)
+        selection_info["backend"] = backend_name
         if self.keep_state:
-            selection_info = dict(selection_info)
             selection_info["final_state"] = state
         return QAOAResult(
             assignment=assignment,

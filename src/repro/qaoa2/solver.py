@@ -129,7 +129,11 @@ def _solve_subgraph_job(payload: dict) -> dict:
         # equal-sized partitions solved by the same worker.  Grid entries
         # with layers=1 automatically drop to the solver's closed-form
         # analytic objective (no statevector until solution selection).
-        engine = SweepEngine(graph, diagonal=diagonal)
+        # The engine resolves the statevector backend once per sub-graph
+        # from the job's options (grid overrides inherit it).
+        engine = SweepEngine(
+            graph, diagonal=diagonal, backend=qaoa_options.get("backend", "auto")
+        )
         configs = qaoa_grid if qaoa_grid else [{}]
         best: Optional[CutResult] = None
         for offset, overrides in enumerate(configs):
@@ -144,6 +148,7 @@ def _solve_subgraph_job(payload: dict) -> dict:
                 out["params"] = [float(x) for x in qaoa_result.params]
                 out["layers"] = int(solver.layers)
                 out["rhobeg"] = float(solver.rhobeg)
+                out["backend"] = qaoa_result.extra.get("backend")
         return best
 
     def run_gw() -> CutResult:

@@ -1,0 +1,56 @@
+"""Pluggable statevector-evolution backends (see src/repro/quantum/README.md).
+
+This package is the single seam between QAOA consumers (the sweep
+engine, solvers, RQAOA, QAOA² leaves, the service scheduler, the
+reference simulator/noise loops) and the numerical kernels that evolve
+statevectors.  Consumers speak :class:`StatevectorBackend`; kernel
+implementations live behind it (``numpy`` — the bit-identical reference;
+``fused`` — FWHT-diagonalised mixer), and new ones (numba, GPU,
+distributed) plug in via :func:`register_backend` without touching any
+caller.
+
+The raw layer kernels are intentionally re-exported here: this package
+is their sanctioned import surface — nothing outside it (besides the
+``repro.quantum`` facade) should import them from
+``repro.quantum.statevector`` directly.
+"""
+
+from repro.quantum.backend.base import StatevectorBackend
+from repro.quantum.backend.fused import FusedBackend
+from repro.quantum.backend.numpy_backend import NumpyBackend
+from repro.quantum.backend.registry import (
+    FUSED_MIN_QUBITS,
+    auto_backend_name,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.quantum.backend.scratch import (
+    DEFAULT_POOL_BUDGET_BYTES,
+    ScratchPool,
+    shared_pool,
+)
+from repro.quantum.statevector import (  # noqa: F401 — sanctioned re-exports
+    apply_phases_batch,
+    apply_rx_layer,
+    walsh_hadamard_batch,
+)
+
+__all__ = [
+    "DEFAULT_POOL_BUDGET_BYTES",
+    "FUSED_MIN_QUBITS",
+    "FusedBackend",
+    "NumpyBackend",
+    "ScratchPool",
+    "StatevectorBackend",
+    "apply_phases_batch",
+    "apply_rx_layer",
+    "auto_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "shared_pool",
+    "walsh_hadamard_batch",
+]

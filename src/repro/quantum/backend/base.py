@@ -1,0 +1,163 @@
+"""The statevector-backend contract: the full QAOA evolve vocabulary.
+
+Every QAOA evolution in the repo — the sweep engine's chunked batches,
+the solver's pointwise objective, RQAOA's per-round evolve, the QAOA²
+leaf solves, the service scheduler's lock-step SPSA batches, and the
+reference loops in ``quantum/simulator.py`` / ``quantum/noise.py`` — is
+expressed in six operations:
+
+* :meth:`StatevectorBackend.plus_state_batch` — the |+⟩^n initial state,
+* :meth:`StatevectorBackend.apply_cost_layer` — ``exp(-iγ H_C)`` as an
+  elementwise diagonal phase multiply,
+* :meth:`StatevectorBackend.apply_mixer_layer` — ``exp(-iβ ΣX)``,
+* :meth:`StatevectorBackend.evolve_batch` / :meth:`evolve_state` — the
+  composed p-layer circuit, batched and pointwise,
+* :meth:`StatevectorBackend.expectations_batch` — ⟨ψ|H_C|ψ⟩ per row,
+
+plus :meth:`walsh_transform` (the unnormalised Walsh–Hadamard transform
+used by the spectral angle-grid tier and by fused-mixer backends) and
+scratch management via :class:`repro.quantum.backend.scratch.ScratchPool`.
+Implementations differ only in *how* they realise the operations (NumPy
+passes, fused FWHT kernels, future numba/GPU/distributed backends); all
+must agree numerically to ≤1e-12 with :class:`NumpyBackend`, which is the
+bit-identical wrapper over the seed kernels.
+
+State layout is the repo-wide convention: dense ``complex128``, qubit
+``q`` = bit ``q`` of the little-endian basis index; batches are
+``(B, 2**n)`` with the batch index leading.  Parameter rows are packed
+``[γ_1..γ_p, β_1..β_p]``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.quantum.backend.scratch import ScratchPool, shared_pool
+from repro.quantum.statevector import n_qubits_for_dim, plus_state
+
+
+class StatevectorBackend(ABC):
+    """Abstract statevector-evolution backend.
+
+    Subclasses set ``name`` (the registry key) and implement the three
+    layer primitives; the composed :meth:`evolve_batch`/:meth:`evolve_state`
+    loops are provided here so a backend that only accelerates a primitive
+    inherits correct composition, while backends that can fuse across
+    layers (see :class:`repro.quantum.backend.fused.FusedBackend`)
+    override them.
+    """
+
+    name: str = "abstract"
+
+    # -- layer primitives ------------------------------------------------
+    @abstractmethod
+    def plus_state_batch(
+        self, n_qubits: int, batch: int, *, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``batch`` copies of |+⟩^n as a ``(batch, 2**n)`` array."""
+
+    @abstractmethod
+    def apply_cost_layer(
+        self,
+        states: np.ndarray,
+        diagonal: np.ndarray,
+        gammas,
+        *,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """In place: multiply by ``exp(-iγ · diagonal)``.
+
+        ``states`` is a single ``(2**n,)`` vector with scalar ``gammas``,
+        or a ``(B, 2**n)`` batch with a ``(B,)`` per-row γ vector.
+        ``scratch`` is an optional same-shape phase-table buffer.
+        """
+
+    @abstractmethod
+    def apply_mixer_layer(
+        self,
+        states: np.ndarray,
+        betas,
+        *,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """In place: apply ``exp(-iβ Σ_q X_q)`` (RX(2β) on every qubit).
+
+        Same single/batched shape contract as :meth:`apply_cost_layer`;
+        batched states additionally accept a scalar β shared by all rows.
+        """
+
+    @abstractmethod
+    def walsh_transform(
+        self, states: np.ndarray, *, scratch: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Unnormalised Walsh–Hadamard transform along the last axis,
+        in place (carries a ``2**(n/2)`` factor relative to H^{⊗n})."""
+
+    @abstractmethod
+    def expectations_batch(
+        self, states: np.ndarray, diagonal: np.ndarray
+    ) -> np.ndarray:
+        """⟨ψ_b| D |ψ_b⟩ for every row of a ``(B, 2**n)`` batch (real D)."""
+
+    # -- composed evolution ---------------------------------------------
+    def evolve_batch(
+        self,
+        diagonal: np.ndarray,
+        params_matrix: np.ndarray,
+        *,
+        pool: Optional[ScratchPool] = None,
+    ) -> np.ndarray:
+        """Evolve |+⟩^n under p QAOA layers for every parameter row.
+
+        ``params_matrix`` is ``(B, 2p)``; returns the pooled ``(B, 2**n)``
+        state buffer, valid until the next backend call on the same pool
+        (callers that need to retain states must copy).
+        """
+        mat = self._params_matrix(params_matrix)
+        n = n_qubits_for_dim(len(diagonal))
+        m, p = mat.shape[0], mat.shape[1] // 2
+        dim = 1 << n
+        pool = pool if pool is not None else shared_pool()
+        states = self.plus_state_batch(n, m, out=pool.take("states", (m, dim)))
+        scratch = pool.take("phases", (m, dim))
+        for layer in range(p):
+            self.apply_cost_layer(states, diagonal, mat[:, layer], scratch=scratch)
+            # The phase scratch doubles as the mixer's ping-pong buffer.
+            self.apply_mixer_layer(states, mat[:, p + layer], scratch=scratch)
+        return states
+
+    def evolve_state(self, diagonal: np.ndarray, params: np.ndarray) -> np.ndarray:
+        """|ψ_p(γ, β)⟩ for one packed parameter vector (fresh array)."""
+        params = np.asarray(params, dtype=np.float64)
+        if params.ndim != 1 or len(params) % 2 != 0:
+            raise ValueError("parameter vector must have even length (γs then βs)")
+        n = n_qubits_for_dim(len(diagonal))
+        p = len(params) // 2
+        state = plus_state(n)
+        for layer in range(p):
+            state = self.apply_cost_layer(state, diagonal, params[layer])
+            state = self.apply_mixer_layer(state, params[p + layer])
+        return state
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _params_matrix(params_matrix: np.ndarray) -> np.ndarray:
+        mat = np.asarray(params_matrix, dtype=np.float64)
+        if mat.ndim == 1:
+            mat = mat[None, :]
+        if mat.ndim != 2:
+            raise ValueError(f"expected (B, 2p) matrix, got ndim={mat.ndim}")
+        if mat.shape[1] == 0 or mat.shape[1] % 2 != 0:
+            raise ValueError(
+                "parameter rows must have even positive length (γs then βs)"
+            )
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+__all__ = ["StatevectorBackend"]

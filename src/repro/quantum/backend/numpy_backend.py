@@ -1,0 +1,79 @@
+"""The reference backend: a thin wrapper over the seed NumPy kernels.
+
+``NumpyBackend`` delegates every operation 1:1 to
+:mod:`repro.quantum.statevector` — same ufunc sequence, same scratch
+discipline, same reduction order — so its results are **bit-identical**
+to the pre-backend-layer code paths (pinned by the golden angle-grid
+regression in ``tests/test_sweep_engine.py``).  It is both the default
+for small problems and the parity oracle every other backend is tested
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quantum.backend.base import StatevectorBackend
+from repro.quantum.statevector import (
+    apply_phases_batch,
+    apply_rx_layer,
+    expectation_diagonal_batch,
+    plus_state_batch,
+    walsh_hadamard_batch,
+)
+
+
+class NumpyBackend(StatevectorBackend):
+    """Dense NumPy statevector evolution (the bit-identical reference)."""
+
+    name = "numpy"
+
+    def plus_state_batch(
+        self, n_qubits: int, batch: int, *, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return plus_state_batch(n_qubits, batch, out=out)
+
+    def apply_cost_layer(
+        self,
+        states: np.ndarray,
+        diagonal: np.ndarray,
+        gammas,
+        *,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if states.ndim == 1:
+            gamma = np.asarray(gammas, dtype=np.float64)
+            if gamma.ndim != 0:
+                raise ValueError("per-row gammas require a batched (B, dim) state")
+            if diagonal.shape != states.shape:
+                raise ValueError("diagonal length mismatch")
+            # Exactly the seed expression (MaxCutEnergy.statevector).
+            states *= np.exp(-1j * gamma * diagonal)
+            return states
+        return apply_phases_batch(states, diagonal, gammas, scratch=scratch)
+
+    def apply_mixer_layer(
+        self,
+        states: np.ndarray,
+        betas,
+        *,
+        scratch: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if states.ndim == 1:
+            return apply_rx_layer(states, betas)
+        return apply_rx_layer(states, betas, scratch=scratch)
+
+    def walsh_transform(
+        self, states: np.ndarray, *, scratch: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return walsh_hadamard_batch(states, scratch=scratch)
+
+    def expectations_batch(
+        self, states: np.ndarray, diagonal: np.ndarray
+    ) -> np.ndarray:
+        return expectation_diagonal_batch(states, diagonal)
+
+
+__all__ = ["NumpyBackend"]

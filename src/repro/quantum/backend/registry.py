@@ -1,0 +1,148 @@
+"""Backend registry and auto-selection policy.
+
+Backends register under a short name; :func:`resolve_backend` turns a
+user-facing spec — ``"auto"``, a registered name, or an already-built
+:class:`~repro.quantum.backend.base.StatevectorBackend` instance — into
+a process-wide singleton instance.  Singletons matter: backends cache
+per-``n`` tables (popcount/eigenvalue vectors) that should be built once
+per process, not once per solve.
+
+Auto policy
+-----------
+``resolve_backend("auto", n_qubits=..., layers=..., batch=...)`` picks
+
+* ``fused`` at ``n_qubits >= FUSED_MIN_QUBITS`` (14) — the regime where
+  the mixer's per-qubit pass count dominates evolution and the FWHT
+  diagonalisation wins (measured in ``benchmarks/bench_backends.py``),
+* ``numpy`` below that, and whenever ``n_qubits`` is unknown — the
+  bit-identical reference is always the safe default.
+
+``layers``/``batch`` are accepted as hints for future policies (and for
+externally registered backends that key on them); the built-in policy is
+deliberately a pure function of ``n_qubits`` so a given graph always
+resolves to the same backend regardless of sweep shape.
+
+Registering a new backend
+-------------------------
+See ``src/repro/quantum/README.md``.  In short::
+
+    from repro.quantum.backend import StatevectorBackend, register_backend
+
+    class MyBackend(StatevectorBackend):
+        name = "mine"
+        ...
+
+    register_backend("mine", MyBackend)
+
+after which ``--backend mine`` / ``SweepEngine(graph, backend="mine")``
+work everywhere without touching any caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.quantum.backend.base import StatevectorBackend
+from repro.quantum.backend.fused import FusedBackend
+from repro.quantum.backend.numpy_backend import NumpyBackend
+
+# Qubit count from which the fused FWHT mixer out-runs the per-qubit RX
+# passes (ROADMAP: "at 14+ qubits the evolve kernels are at the NumPy
+# pass-count floor").
+FUSED_MIN_QUBITS = 14
+
+BackendSpec = Union[str, StatevectorBackend, None]
+
+_FACTORIES: Dict[str, Callable[[], StatevectorBackend]] = {}
+_INSTANCES: Dict[str, StatevectorBackend] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], StatevectorBackend],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` (a class or zero-arg callable) under ``name``."""
+    if not name or name == "auto":
+        raise ValueError(f"invalid backend name {name!r}")
+    if name in _FACTORIES and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered (pass replace=True)"
+        )
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(name: str) -> StatevectorBackend:
+    """The singleton instance for a registered backend name."""
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(
+                f"unknown statevector backend {name!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
+        instance = factory()
+        if instance.name != name:
+            raise ValueError(
+                f"backend factory for {name!r} built an instance named "
+                f"{instance.name!r}"
+            )
+        _INSTANCES[name] = instance
+    return instance
+
+
+def auto_backend_name(
+    n_qubits: Optional[int] = None,
+    layers: Optional[int] = None,
+    batch: Optional[int] = None,
+) -> str:
+    """The built-in auto policy (see module docstring)."""
+    if n_qubits is not None and n_qubits >= FUSED_MIN_QUBITS:
+        return "fused"
+    return "numpy"
+
+
+def resolve_backend(
+    spec: BackendSpec = "auto",
+    *,
+    n_qubits: Optional[int] = None,
+    layers: Optional[int] = None,
+    batch: Optional[int] = None,
+) -> StatevectorBackend:
+    """Resolve a backend spec to an instance.
+
+    ``spec`` may be ``None``/``"auto"`` (policy pick for the given
+    problem shape), a registered name, or an instance (returned as-is).
+    """
+    if isinstance(spec, StatevectorBackend):
+        return spec
+    if spec is None or spec == "auto":
+        return get_backend(auto_backend_name(n_qubits, layers, batch))
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend spec must be a name, 'auto', or a StatevectorBackend "
+            f"instance, got {type(spec).__name__}"
+        )
+    return get_backend(spec)
+
+
+register_backend(NumpyBackend.name, NumpyBackend)
+register_backend(FusedBackend.name, FusedBackend)
+
+
+__all__ = [
+    "FUSED_MIN_QUBITS",
+    "auto_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]

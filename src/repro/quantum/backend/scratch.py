@@ -1,0 +1,113 @@
+"""Reusable statevector work buffers with an LRU byte budget.
+
+Every batched evolution needs two ``(chunk, 2**n)`` complex buffers
+(states + elementwise scratch).  The pool hands back the same allocation
+for the same ``(tag, shape)`` key so repeated solves over equal-sized
+graphs (the QAOA² partition loop, the service's shape-grouped batches)
+never reallocate.
+
+Storage is thread-local: the ``hpc.executor`` thread backend runs
+sub-graph jobs concurrently, and each worker thread must not scribble
+over another's in-flight states.  Reuse therefore happens per worker,
+which is exactly the repeated-solve case; ``n_buffers``/``nbytes`` report
+the calling thread's view.
+
+Byte budget
+-----------
+Buffers are retained in least-recently-*taken* order up to ``max_bytes``
+per thread.  A service streaming sub-graphs of many different sizes used
+to accumulate one dead ``(chunk, 2**n)`` pair per shape forever; now the
+coldest shapes are evicted once the budget is exceeded.  Eviction only
+drops the pool's reference — a caller still holding the array keeps it
+alive (it just stops being reused) — and the buffer being handed out is
+never the one evicted, so a single over-budget shape still works.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+# Default per-thread retention budget.  Generous enough that single-shape
+# workloads (one graph size, the common case) never evict; small enough
+# that a long-lived mixed-shape service stays bounded.
+DEFAULT_POOL_BUDGET_BYTES = 256 * 1024 * 1024
+
+
+class ScratchPool:
+    """Complex128 work buffers keyed by ``(tag, shape)``, LRU-bounded."""
+
+    def __init__(self, *, max_bytes: int = DEFAULT_POOL_BUDGET_BYTES) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._local = threading.local()
+
+    def _buffers(self) -> "OrderedDict[Tuple[str, Tuple[int, ...]], np.ndarray]":
+        buffers = getattr(self._local, "buffers", None)
+        if buffers is None:
+            buffers = OrderedDict()
+            self._local.buffers = buffers
+            self._local.nbytes = 0
+            self._local.evictions = 0
+        return buffers
+
+    def take(self, tag: str, shape: Tuple[int, ...]) -> np.ndarray:
+        """A pooled ``complex128`` array of ``shape`` (contents undefined).
+
+        The returned buffer is valid until the caller's next ``take`` of
+        the same key on the same thread; taking marks the key
+        most-recently-used and may evict the coldest other keys to stay
+        within ``max_bytes``.
+        """
+        buffers = self._buffers()
+        key = (tag, tuple(shape))
+        buf = buffers.pop(key, None)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.complex128)
+            self._local.nbytes += buf.nbytes
+        buffers[key] = buf  # (re-)insert at the most-recent end
+        self._evict(buffers, keep=key)
+        return buf
+
+    def _evict(self, buffers, keep) -> None:
+        while self._local.nbytes > self.max_bytes and len(buffers) > 1:
+            victim = next(iter(buffers))  # least recently taken
+            if victim == keep:
+                break  # only the just-taken buffer remains over budget
+            dropped = buffers.pop(victim)
+            self._local.nbytes -= dropped.nbytes
+            self._local.evictions += 1
+
+    def clear(self) -> None:
+        buffers = self._buffers()
+        buffers.clear()
+        self._local.nbytes = 0
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self._buffers())
+
+    def nbytes(self) -> int:
+        self._buffers()  # ensure thread-local init
+        return int(self._local.nbytes)
+
+    @property
+    def evictions(self) -> int:
+        """Buffers dropped for the byte budget (this thread's count)."""
+        self._buffers()
+        return int(self._local.evictions)
+
+
+_SHARED_POOL = ScratchPool()
+
+
+def shared_pool() -> ScratchPool:
+    """The process-wide buffer pool used by engines unless told otherwise."""
+    return _SHARED_POOL
+
+
+__all__ = ["DEFAULT_POOL_BUDGET_BYTES", "ScratchPool", "shared_pool"]

@@ -89,21 +89,24 @@ def noisy_qaoa_statevector(
 
     The cost layer stays an exact diagonal (it is diagonal noise-free), with
     two-qubit channel noise sampled per edge; the mixer applies per-qubit
-    channel noise after each RX.
+    channel noise after each RX.  The noiseless layer unitaries run through
+    the evaluator's statevector backend (:mod:`repro.quantum.backend`), so
+    trajectories and the exact path use the same kernels.
     """
-    from repro.quantum.statevector import apply_rx_layer, plus_state
+    from repro.quantum.statevector import plus_state
 
     gen = ensure_rng(rng)
     graph = energy.graph
+    backend = energy.backend
     gammas, betas = energy.split_params(params)
     state = plus_state(energy.n_qubits)
     for gamma, beta in zip(gammas, betas):
-        state = state * np.exp(-1j * gamma * energy.diagonal)
+        state = backend.apply_cost_layer(state, energy.diagonal, gamma)
         if noise.two_qubit is not None and noise.two_qubit.probability > 0:
             for a, b in zip(graph.u.tolist(), graph.v.tolist()):
                 state = noise.two_qubit.apply(state, a, rng=gen)
                 state = noise.two_qubit.apply(state, b, rng=gen)
-        state = apply_rx_layer(state, beta)
+        state = backend.apply_mixer_layer(state, beta)
         if noise.one_qubit is not None and noise.one_qubit.probability > 0:
             for q in range(energy.n_qubits):
                 state = noise.one_qubit.apply(state, q, rng=gen)

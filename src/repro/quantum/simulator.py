@@ -135,20 +135,26 @@ def run_qaoa_reference(
     graph_diagonal: np.ndarray,
     gammas: np.ndarray,
     betas: np.ndarray,
+    *,
+    backend: object = "numpy",
 ) -> np.ndarray:
     """Reference QAOA state built with explicit diagonal/mixer layers.
 
     |ψ_p(β,γ)⟩ = Π_l exp(-iβ_l H_M) exp(-iγ_l H_C) |+⟩^n  (paper Eq. 2),
-    with H_C supplied as its diagonal.  Exists so tests can cross-validate
-    the circuit path, the fast path and this explicit construction.
+    with H_C supplied as its diagonal, evolved layer by layer through a
+    :mod:`repro.quantum.backend` backend (the bit-identical ``numpy``
+    reference unless told otherwise).  Exists so tests can cross-validate
+    the circuit path, the fast path and this explicit construction — and,
+    with ``backend=``, any registered evolution backend against all three.
     """
-    from repro.quantum.statevector import apply_diagonal, apply_rx_layer
+    from repro.quantum.backend import resolve_backend
 
     n = int(np.log2(len(graph_diagonal)))
+    evolve = resolve_backend(backend, n_qubits=n)
     state = plus_state(n)
     for gamma, beta in zip(gammas, betas):
-        state = apply_diagonal(state, np.exp(-1j * gamma * graph_diagonal))
-        state = apply_rx_layer(state, beta)
+        state = evolve.apply_cost_layer(state, graph_diagonal, gamma)
+        state = evolve.apply_mixer_layer(state, beta)
     return state
 
 

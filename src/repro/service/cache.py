@@ -16,6 +16,11 @@ Tiers
 * **disk** — optional (``disk_dir``): entries are written through as one
   JSON file per digest and read back on memory misses (then promoted),
   so a restarted service warms up from its predecessor's work.
+  :meth:`ResultCache.compact` merges the per-entry files into a single
+  compacted data file plus a byte-offset index (``repro service-stats
+  --compact``), so long-lived stores stop accumulating one inode per
+  solve; fresh write-throughs keep landing as per-entry files (newest
+  wins) until the next compaction folds them in.
 
 Entries that carry optimal QAOA angles can be exported into the paper's
 Fig. 3 knowledge base (:meth:`ResultCache.export_knowledge`), turning the
@@ -25,6 +30,7 @@ serving cache into warm-start data for future parameterisations.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -39,6 +45,10 @@ DEFAULT_MAX_BYTES = 32 * 1024 * 1024
 # Fixed per-entry overhead estimate (dict/dataclass plumbing, small
 # scalars) added on top of the array payload sizes.
 ENTRY_OVERHEAD_BYTES = 512
+# Compacted-store filenames.  Entry files are ``<hex digest>.json``, so
+# the ``compact.`` prefix can never collide with one.
+COMPACT_DATA_FILE = "compact.data.jsonl"
+COMPACT_INDEX_FILE = "compact.index.json"
 
 
 @dataclass
@@ -131,6 +141,7 @@ class ResultCache:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._entries: Dict[str, CacheEntry] = {}  # insertion = LRU order
         self._nbytes = 0
+        self._compact_index: Optional[Dict[str, Tuple[int, int]]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -206,18 +217,137 @@ class ResultCache:
         if self.disk_dir is None:
             return None
         path = self._disk_path(digest)
-        if not path.exists():
-            return None
-        try:
-            return CacheEntry.from_json(json.loads(path.read_text()))
-        except (ValueError, TypeError, KeyError):
-            # A torn/stale file is a miss, not an error.
-            return None
+        if path.exists():
+            try:
+                return CacheEntry.from_json(json.loads(path.read_text()))
+            except (OSError, ValueError, TypeError, KeyError):
+                # Torn write-through, or a concurrent compact() unlinked
+                # the file between exists() and read — either way the
+                # compacted store may still hold a valid copy.
+                pass
+        return self._compact_get(digest)
+
+    def _loose_files(self) -> List[Path]:
+        """Per-entry JSON files (excluding the compacted store's pair)."""
+        assert self.disk_dir is not None
+        return [
+            path
+            for path in self.disk_dir.glob("*.json")
+            if not path.name.startswith("compact.")
+        ]
 
     def disk_entries(self) -> int:
+        """Distinct digests reachable on disk (loose files + compacted)."""
         if self.disk_dir is None:
             return 0
-        return sum(1 for _ in self.disk_dir.glob("*.json"))
+        digests = {path.stem for path in self._loose_files()}
+        digests.update(self._load_compact_index())
+        return len(digests)
+
+    # ------------------------------------------------------------------
+    # Compacted store: one JSONL data file + {digest: [offset, length]}
+    # ------------------------------------------------------------------
+    def _load_compact_index(self) -> Dict[str, Tuple[int, int]]:
+        if self._compact_index is not None:
+            return self._compact_index
+        index: Dict[str, Tuple[int, int]] = {}
+        if self.disk_dir is not None:
+            path = self.disk_dir / COMPACT_INDEX_FILE
+            if path.exists():
+                try:
+                    raw = json.loads(path.read_text())
+                    index = {
+                        str(digest): (int(pos[0]), int(pos[1]))
+                        for digest, pos in raw["entries"].items()
+                    }
+                except (ValueError, TypeError, KeyError, IndexError):
+                    index = {}  # torn index: treat the store as empty
+        self._compact_index = index
+        return index
+
+    def _compact_get(self, digest: str) -> Optional[CacheEntry]:
+        pos = self._load_compact_index().get(digest)
+        if pos is None:
+            return None
+        offset, length = pos
+        try:
+            with open(self.disk_dir / COMPACT_DATA_FILE, "rb") as fh:
+                fh.seek(offset)
+                payload = json.loads(fh.read(length))
+            if payload.get("digest") != digest:
+                # A stale in-memory index against a rewritten data file
+                # (another process compacted) can land cleanly on a
+                # different entry — that is a miss, never a wrong answer.
+                return None
+            return CacheEntry.from_json(payload)
+        except (OSError, ValueError, TypeError, KeyError, AttributeError):
+            return None
+
+    def compact(self) -> Dict[str, int]:
+        """Merge the per-entry JSON files into the compacted store.
+
+        Reads the existing compacted store first, then every loose
+        ``<digest>.json`` (loose wins — it is the fresher write-through),
+        rewrites ``compact.data.jsonl`` + ``compact.index.json``
+        atomically (tmp + rename), and deletes the merged loose files.
+        Returns ``{"entries", "merged_files", "data_bytes"}``.
+        """
+        if self.disk_dir is None:
+            raise ValueError("compact() requires a disk_dir-backed cache")
+        payloads: Dict[str, dict] = {}
+        for digest in self._load_compact_index():
+            entry = self._compact_get(digest)
+            if entry is not None:
+                payloads[digest] = entry.to_json()
+        loose: List[Tuple[Path, bytes]] = []
+        for path in self._loose_files():
+            try:
+                raw = path.read_bytes()
+                payload = json.loads(raw)
+                payloads[str(payload["digest"])] = payload
+            except (OSError, ValueError, TypeError, KeyError):
+                continue  # torn file: nothing worth preserving
+            loose.append((path, raw))
+        data_path = self.disk_dir / COMPACT_DATA_FILE
+        index_path = self.disk_dir / COMPACT_INDEX_FILE
+        # Per-process tmp names: two concurrent compactions then race only
+        # on the atomic renames (last one wins wholesale) instead of
+        # interleaving writes into one shared tmp file.
+        tag = f".{os.getpid()}.tmp"
+        tmp_data = data_path.with_name(data_path.name + tag)
+        index: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        with open(tmp_data, "wb") as fh:
+            for digest in sorted(payloads):
+                line = (json.dumps(payloads[digest]) + "\n").encode()
+                fh.write(line)
+                index[digest] = (offset, len(line) - 1)
+                offset += len(line)
+        tmp_index = index_path.with_name(index_path.name + tag)
+        tmp_index.write_text(
+            json.dumps({"version": 1, "entries": {d: list(p) for d, p in index.items()}})
+        )
+        tmp_data.replace(data_path)
+        tmp_index.replace(index_path)
+        for path, merged_bytes in loose:
+            # Only remove what was actually merged: a write-through that
+            # rewrote the file mid-compaction is fresher than the store
+            # and must survive to win the next read/compaction (the
+            # remaining read-vs-unlink window is microseconds, and a
+            # lost loose copy degrades to the compacted entry, never to
+            # a missing one).
+            try:
+                if path.read_bytes() == merged_bytes:
+                    path.unlink(missing_ok=True)
+            except OSError:
+                continue
+        self._compact_index = index
+        self.metrics.increment("compactions")
+        return {
+            "entries": len(index),
+            "merged_files": len(loose),
+            "data_bytes": offset,
+        }
 
     # ------------------------------------------------------------------
     def export_knowledge(self, kb: Optional[KnowledgeBase] = None) -> KnowledgeBase:
@@ -264,6 +394,8 @@ class ResultCache:
 
 
 __all__ = [
+    "COMPACT_DATA_FILE",
+    "COMPACT_INDEX_FILE",
     "DEFAULT_MAX_BYTES",
     "ENTRY_OVERHEAD_BYTES",
     "CacheEntry",

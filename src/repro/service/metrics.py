@@ -17,6 +17,7 @@ Counter vocabulary used by the service stack (callers may add their own):
 ``lockstep_batches``lock-step batches dispatched
 ``shared_diagonals``jobs that reused a batch-mate's cut diagonal
 ``evictions``       LRU entries dropped for the byte budget
+``backend_<name>``  QAOA solves evolved by that statevector backend
 """
 
 from __future__ import annotations

@@ -162,6 +162,13 @@ class BatchScheduler:
             for job, result in zip(generic, solved):
                 results[job.index] = result
         self.metrics.increment("solves", len(jobs))
+        # Per-backend solve counters ("backend_numpy", "backend_fused",
+        # ...) so the stats report shows which evolve kernels served the
+        # traffic.
+        for result in results:
+            name = result.get("backend") if result else None
+            if name:
+                self.metrics.increment(f"backend_{name}")
         return results
 
     # ------------------------------------------------------------------
@@ -243,8 +250,8 @@ def _solve_lockstep_batch(
     evaluate as one engine batch per iteration.
     """
     start = time.perf_counter()
-    engine = SweepEngine(graph)
-    energy = MaxCutEnergy(graph, diagonal=engine.diagonal)
+    engine = SweepEngine(graph, backend=solver.backend)
+    energy = MaxCutEnergy(graph, diagonal=engine.diagonal, backend=engine.backend)
     energy.attach_engine(engine)
     maxiter = (
         solver.maxiter
@@ -298,6 +305,7 @@ def _solve_lockstep_batch(
                 "params": [float(x) for x in opt.x],
                 "layers": int(solver.layers),
                 "rhobeg": float(solver.rhobeg),
+                "backend": engine.backend_name,
                 "assignment": assignment,
                 "cut": cut,
                 "elapsed": elapsed / len(jobs),

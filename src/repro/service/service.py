@@ -371,7 +371,7 @@ class MaxCutService:
     ) -> CacheEntry:
         extra = {
             key: raw.get(key)
-            for key in ("qaoa_cut", "gw_cut", "gw_average")
+            for key in ("qaoa_cut", "gw_cut", "gw_average", "backend")
             if raw.get(key) is not None
         }
         return CacheEntry(

@@ -1,0 +1,367 @@
+"""Cross-backend property suite for :mod:`repro.quantum.backend`.
+
+Three layers of guarantees:
+
+* **parity** — for random weighted graphs and p ∈ {1, 2, 3}, pointwise,
+  batched and per-backend statevectors/energies agree to ≤1e-12;
+* **golden** — the re-routed evolve paths (``MaxCutEnergy.statevector``,
+  ``run_qaoa_reference``, the noise-trajectory loop) reproduce the
+  pre-refactor implementations *bit-exactly* on the ``numpy`` backend
+  (the old loops are inlined here as the golden reference);
+* **registry** — auto policy, registration, and error behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import cut_diagonal, erdos_renyi
+from repro.qaoa import MaxCutEnergy, SweepEngine
+from repro.quantum.backend import (
+    FUSED_MIN_QUBITS,
+    FusedBackend,
+    NumpyBackend,
+    ScratchPool,
+    StatevectorBackend,
+    auto_backend_name,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.quantum.noise import DepolarizingChannel, NoiseModel, noisy_qaoa_statevector
+from repro.quantum.simulator import run_qaoa_reference
+from repro.quantum.statevector import plus_state
+
+PARITY_ATOL = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Pre-refactor golden implementations (inlined from the seed kernels)
+# ---------------------------------------------------------------------------
+def _golden_rx_layer(state: np.ndarray, beta: float) -> np.ndarray:
+    """The seed single-state mixer loop, verbatim."""
+    n = int(np.log2(len(state)))
+    beta_arr = np.asarray(beta, dtype=np.float64)
+    c = np.cos(beta_arr)
+    s = -1j * np.sin(beta_arr)
+    out = state
+    for q in range(n):
+        view = out.reshape(1 << (n - 1 - q), 2, 1 << q)
+        a = view[:, 0, :].copy()
+        b = view[:, 1, :]
+        view[:, 0, :] = c * a + s * b
+        view[:, 1, :] = s * a + c * b
+        out = view.reshape(-1)
+    return out
+
+
+def _golden_statevector(diagonal: np.ndarray, params: np.ndarray) -> np.ndarray:
+    """The seed ``MaxCutEnergy.statevector`` loop, verbatim."""
+    n = int(np.log2(len(diagonal)))
+    params = np.asarray(params, dtype=np.float64)
+    p = len(params) // 2
+    state = plus_state(n)
+    for gamma, beta in zip(params[:p], params[p:]):
+        state *= np.exp(-1j * gamma * diagonal)
+        state = _golden_rx_layer(state, beta)
+    return state
+
+
+def _random_cases(n_cases, seed=7, n_lo=2, n_hi=11):
+    rng = np.random.default_rng(seed)
+    cases = []
+    for _ in range(n_cases):
+        n = int(rng.integers(n_lo, n_hi))
+        p = int(rng.integers(1, 4))
+        graph = erdos_renyi(
+            n,
+            float(rng.uniform(0.3, 0.8)),
+            weighted=bool(rng.integers(0, 2)),
+            rng=int(rng.integers(2**31)),
+        )
+        params = rng.uniform(-np.pi, np.pi, size=2 * p)
+        cases.append((graph, params))
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity
+# ---------------------------------------------------------------------------
+class TestCrossBackendParity:
+    CASES = _random_cases(24)
+
+    @pytest.mark.parametrize("name", ["numpy", "fused"])
+    def test_statevectors_and_energies_all_paths(self, name):
+        backend = get_backend(name)
+        rng = np.random.default_rng(11)
+        for graph, params in self.CASES:
+            if graph.n_edges == 0:
+                continue
+            reference = MaxCutEnergy(graph)  # numpy pointwise oracle
+            energy = MaxCutEnergy(graph, backend=backend)
+            engine = SweepEngine(graph, backend=backend)
+            matrix = np.vstack(
+                [params[None, :], rng.uniform(-np.pi, np.pi, (3, len(params)))]
+            )
+            # pointwise vs batched vs per-backend statevectors
+            ref_state = reference.statevector(params)
+            np.testing.assert_allclose(
+                energy.statevector(params), ref_state, atol=PARITY_ATOL
+            )
+            np.testing.assert_allclose(
+                engine.statevectors(params[None, :])[0], ref_state, atol=PARITY_ATOL
+            )
+            # energies: pointwise loop vs backend batch
+            singles = np.array([reference.expectation(row) for row in matrix])
+            np.testing.assert_allclose(
+                engine.energies(matrix), singles, atol=PARITY_ATOL
+            )
+
+    def test_middle_qubit_stage_parity(self):
+        # n > LOW_STAGE_QUBITS + HIGH_STAGE_QUBITS (10) exercises the
+        # fused mixer's middle per-qubit rotation branch, which no
+        # n ≤ 10 case reaches.
+        from repro.quantum.backend.fused import HIGH_STAGE_QUBITS, LOW_STAGE_QUBITS
+
+        n = LOW_STAGE_QUBITS + HIGH_STAGE_QUBITS + 2
+        rng = np.random.default_rng(13)
+        for weighted in (False, True):
+            graph = erdos_renyi(n, 0.25, weighted=weighted, rng=1)
+            diag = cut_diagonal(graph)
+            mat = rng.uniform(-np.pi, np.pi, (3, 4))
+            a = NumpyBackend().evolve_batch(diag, mat).copy()
+            b = FusedBackend().evolve_batch(diag, mat).copy()
+            np.testing.assert_allclose(a, b, atol=PARITY_ATOL)
+
+    def test_weighted_and_unweighted_cost_paths_agree(self):
+        # Unweighted diagonals take the fused gather path, weighted ones
+        # the dense exponential — both must match numpy bitwise-exactly
+        # in the inputs they feed exp(), hence ≤1e-12 after the mixer.
+        fused = FusedBackend()
+        numpy_backend = NumpyBackend()
+        rng = np.random.default_rng(3)
+        for weighted in (False, True):
+            graph = erdos_renyi(9, 0.5, weighted=weighted, rng=5)
+            diag = cut_diagonal(graph)
+            mat = rng.uniform(-np.pi, np.pi, (6, 6))
+            a = numpy_backend.evolve_batch(diag, mat).copy()
+            b = fused.evolve_batch(diag, mat).copy()
+            np.testing.assert_allclose(a, b, atol=PARITY_ATOL)
+
+    def test_fused_cost_gather_is_bit_identical(self):
+        # values[inverse] reconstructs the diagonal exactly, so the
+        # quantised cost layer is bit-identical, not just close.
+        fused, ref = FusedBackend(), NumpyBackend()
+        graph = erdos_renyi(8, 0.5, weighted=False, rng=2)
+        diag = cut_diagonal(graph)
+        states_a = ref.plus_state_batch(8, 3)
+        states_b = fused.plus_state_batch(8, 3)
+        gammas = np.array([0.3, -1.2, 2.5])
+        ref.apply_cost_layer(states_a, diag, gammas)
+        fused.apply_cost_layer(states_b, diag, gammas)
+        np.testing.assert_array_equal(states_a, states_b)
+
+    def test_mixer_shapes_and_validation(self):
+        for backend in (NumpyBackend(), FusedBackend()):
+            rng = np.random.default_rng(0)
+            states = rng.standard_normal((3, 32)) + 1j * rng.standard_normal((3, 32))
+            with pytest.raises(ValueError, match="batch"):
+                backend.apply_mixer_layer(states.copy(), np.zeros(4))
+            with pytest.raises(ValueError, match="batched"):
+                backend.apply_mixer_layer(
+                    np.zeros(32, dtype=np.complex128), np.zeros(3)
+                )
+            # scalar β broadcast over rows == per-row duplicate βs
+            shared = backend.apply_mixer_layer(states.copy(), 0.41)
+            perrow = backend.apply_mixer_layer(states.copy(), np.full(3, 0.41))
+            np.testing.assert_allclose(shared, perrow, atol=PARITY_ATOL)
+
+    def test_evolve_batch_uses_pool_buffer(self):
+        pool = ScratchPool()
+        graph = erdos_renyi(6, 0.5, weighted=True, rng=1)
+        diag = cut_diagonal(graph)
+        mat = np.random.default_rng(0).uniform(-1, 1, (4, 4))
+        for backend in (NumpyBackend(), FusedBackend()):
+            out1 = backend.evolve_batch(diag, mat, pool=pool)
+            out2 = backend.evolve_batch(diag, mat, pool=pool)
+            assert out1 is out2  # pooled buffer reuse
+
+    def test_evolve_validation(self):
+        diag = cut_diagonal(erdos_renyi(4, 0.5, rng=0))
+        for backend in (NumpyBackend(), FusedBackend()):
+            with pytest.raises(ValueError, match="even"):
+                backend.evolve_batch(diag, np.zeros((2, 3)))
+            with pytest.raises(ValueError, match="even"):
+                backend.evolve_state(diag, np.zeros(3))
+
+
+# ---------------------------------------------------------------------------
+# Golden (pre-refactor) regressions
+# ---------------------------------------------------------------------------
+class TestGoldenEvolvePaths:
+    CASES = _random_cases(10, seed=2024)
+
+    def test_energy_statevector_bit_identical_on_numpy(self):
+        for graph, params in self.CASES:
+            energy = MaxCutEnergy(graph)  # default backend: numpy reference
+            assert energy.backend.name == "numpy"
+            np.testing.assert_array_equal(
+                energy.statevector(params),
+                _golden_statevector(energy.diagonal, params),
+            )
+
+    def test_run_qaoa_reference_bit_identical(self):
+        for graph, params in self.CASES[:5]:
+            diag = cut_diagonal(graph)
+            p = len(params) // 2
+            np.testing.assert_array_equal(
+                run_qaoa_reference(diag, params[:p], params[p:]),
+                _golden_statevector(diag, params),
+            )
+
+    def test_noise_trajectory_bit_identical(self):
+        graph = erdos_renyi(6, 0.5, weighted=True, rng=9)
+        energy = MaxCutEnergy(graph)
+        params = np.array([0.4, 0.8, 0.3, 0.6])
+        noise = NoiseModel(
+            one_qubit=DepolarizingChannel(0.05),
+            two_qubit=DepolarizingChannel(0.02),
+        )
+        new = noisy_qaoa_statevector(energy, params, noise, rng=123)
+        # Pre-refactor loop: same channel sampling order, seed and kernels.
+        from repro.util.rng import ensure_rng
+
+        gen = ensure_rng(123)
+        state = plus_state(6)
+        for gamma, beta in zip(params[:2], params[2:]):
+            state = state * np.exp(-1j * gamma * energy.diagonal)
+            for a, b in zip(graph.u.tolist(), graph.v.tolist()):
+                state = noise.two_qubit.apply(state, a, rng=gen)
+                state = noise.two_qubit.apply(state, b, rng=gen)
+            state = _golden_rx_layer(state, beta)
+            for q in range(6):
+                state = noise.one_qubit.apply(state, q, rng=gen)
+        np.testing.assert_array_equal(new, state)
+
+
+# ---------------------------------------------------------------------------
+# Registry / auto policy
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_available_and_singletons(self):
+        names = available_backends()
+        assert "numpy" in names and "fused" in names
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("fused") is get_backend("fused")
+
+    def test_auto_policy_by_qubits(self):
+        assert auto_backend_name(FUSED_MIN_QUBITS - 1) == "numpy"
+        assert auto_backend_name(FUSED_MIN_QUBITS) == "fused"
+        assert auto_backend_name(None) == "numpy"
+        assert resolve_backend("auto", n_qubits=FUSED_MIN_QUBITS).name == "fused"
+        assert resolve_backend(None, n_qubits=4).name == "numpy"
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_and_invalid_specs(self):
+        with pytest.raises(ValueError, match="unknown statevector backend"):
+            resolve_backend("quantum-annealer")
+        with pytest.raises(TypeError, match="backend spec"):
+            resolve_backend(42)
+
+    def test_registration_lifecycle(self):
+        class EchoBackend(NumpyBackend):
+            name = "echo-test"
+
+        register_backend("echo-test", EchoBackend)
+        try:
+            assert "echo-test" in available_backends()
+            assert isinstance(resolve_backend("echo-test"), EchoBackend)
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("echo-test", EchoBackend)
+            register_backend("echo-test", EchoBackend, replace=True)
+        finally:
+            from repro.quantum.backend import registry
+
+            registry._FACTORIES.pop("echo-test", None)
+            registry._INSTANCES.pop("echo-test", None)
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError, match="invalid backend name"):
+            register_backend("auto", NumpyBackend)
+        with pytest.raises(ValueError, match="invalid backend name"):
+            register_backend("", NumpyBackend)
+
+    def test_mismatched_factory_name_rejected(self):
+        register_backend("misnamed-test", NumpyBackend)  # instance says "numpy"
+        try:
+            with pytest.raises(ValueError, match="named"):
+                get_backend("misnamed-test")
+        finally:
+            from repro.quantum.backend import registry
+
+            registry._FACTORIES.pop("misnamed-test", None)
+            registry._INSTANCES.pop("misnamed-test", None)
+
+    def test_engine_and_solver_record_backend(self):
+        from repro.qaoa import QAOASolver
+
+        graph = erdos_renyi(8, 0.5, weighted=True, rng=4)
+        engine = SweepEngine(graph, backend="fused")
+        assert engine.backend_name == "fused"
+        result = QAOASolver(layers=1, maxiter=5, backend="fused", rng=0).solve(graph)
+        assert result.extra["backend"] == "fused"
+        default = QAOASolver(layers=1, maxiter=5, rng=0).solve(graph)
+        assert default.extra["backend"] == "numpy"  # auto, n < FUSED_MIN_QUBITS
+
+    def test_subclass_contract(self):
+        assert isinstance(get_backend("fused"), StatevectorBackend)
+
+
+# ---------------------------------------------------------------------------
+# Solver-level equivalence across backends
+# ---------------------------------------------------------------------------
+class TestSolverAcrossBackends:
+    def test_solver_same_cut_any_backend(self):
+        from repro.qaoa import QAOASolver
+
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=6)
+        results = {
+            name: QAOASolver(
+                layers=2, optimizer="spsa", maxiter=25, backend=name, rng=0
+            ).solve(graph)
+            for name in ("numpy", "fused")
+        }
+        # Identical RNG stream; energies differ only at reduction-order
+        # noise, far below any SPSA decision threshold at these scales.
+        assert results["numpy"].cut == results["fused"].cut
+        np.testing.assert_allclose(
+            results["numpy"].params, results["fused"].params, atol=1e-9
+        )
+
+    def test_rqaoa_backend_threading(self):
+        from repro.qaoa.rqaoa import rqaoa_solve
+
+        graph = erdos_renyi(10, 0.5, rng=3)
+        a = rqaoa_solve(
+            graph, n_cutoff=6, layers=1, rng=0, solver_options={"backend": "numpy"}
+        )
+        b = rqaoa_solve(
+            graph, n_cutoff=6, layers=1, rng=0, solver_options={"backend": "fused"}
+        )
+        assert a.cut == b.cut
+
+
+class TestDefaultBackendContract:
+    def test_bare_energy_pins_numpy_on_both_paths(self):
+        # The documented backend=None contract: pointwise AND batched
+        # paths of a bare MaxCutEnergy stay on the numpy reference, even
+        # past FUSED_MIN_QUBITS where auto would pick fused.
+        graph = erdos_renyi(FUSED_MIN_QUBITS + 1, 0.3, rng=8)
+        energy = MaxCutEnergy(graph)
+        assert energy.backend.name == "numpy"
+        assert energy.engine().backend_name == "numpy"
+        engine_auto = SweepEngine(graph)
+        assert engine_auto.backend_name == "fused"  # engines default to auto

@@ -37,6 +37,20 @@ class TestSolve:
         assert main(["solve", "--method", "exact", "--graph-file", str(path)]) == 0
         assert "exact cut" in capsys.readouterr().out
 
+    def test_qaoa_backend_flag(self, capsys):
+        assert main(["solve", "--method", "qaoa", "--nodes", "10",
+                     "--layers", "2", "--backend", "fused"]) == 0
+        assert "backend fused" in capsys.readouterr().out
+
+    def test_qaoa_backend_auto_recorded(self, capsys):
+        assert main(["solve", "--method", "qaoa", "--nodes", "10",
+                     "--layers", "2"]) == 0
+        assert "backend numpy" in capsys.readouterr().out  # auto at n=10
+
+    def test_invalid_backend_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--method", "qaoa", "--backend", "magic"])
+
 
 class TestExperiments:
     def test_gridsearch_and_kb(self, capsys, tmp_path):
@@ -58,9 +72,33 @@ class TestExperiments:
         code = main([
             "scaling", "--node-counts", "30", "--qubits", "8",
             "--layers", "2", "--maxiter", "15", "--backend", "serial",
+            "--sv-backend", "numpy",
         ])
         assert code == 0
         assert "relative to QAOA" in capsys.readouterr().out
+
+    def test_service_stats_with_compaction(self, capsys, tmp_path):
+        disk = tmp_path / "tier"
+        code = main([
+            "service-stats", "--requests", "6", "--universe", "2",
+            "--nodes", "8", "--layers", "1", "--maxiter", "10",
+            "--disk-dir", str(disk), "--compact", "--backend", "numpy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compacted disk tier" in out
+        assert "backend_numpy" in out
+        assert (disk / "compact.index.json").exists()
+        assert not [p for p in disk.glob("*.json")
+                    if not p.name.startswith("compact.")]
+
+    def test_service_stats_compact_without_disk(self, capsys):
+        code = main([
+            "service-stats", "--requests", "4", "--universe", "2",
+            "--nodes", "8", "--layers", "1", "--maxiter", "10", "--compact",
+        ])
+        assert code == 0
+        assert "--compact ignored" in capsys.readouterr().out
 
     def test_hetjobs(self, capsys):
         assert main(["hetjobs", "--jobs", "2"]) == 0

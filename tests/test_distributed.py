@@ -10,7 +10,8 @@ from repro.quantum.distributed import (
     MachineModel,
 )
 from repro.quantum.gates import rx
-from repro.quantum.statevector import apply_gate, apply_rx_layer, plus_state
+from repro.quantum.backend import NumpyBackend
+from repro.quantum.statevector import apply_gate, plus_state
 
 
 def reference_state(n, ops):
@@ -108,7 +109,7 @@ class TestCorrectness:
         d.apply_diagonal_fn(lambda idx: np.exp(-1j * gamma * diag[idx]))
         d.apply_rx_layer(beta)
         expected = plus_state(6) * np.exp(-1j * gamma * diag)
-        expected = apply_rx_layer(expected, beta)
+        expected = NumpyBackend().apply_mixer_layer(expected, beta)
         assert np.allclose(d.gather(), expected, atol=1e-10)
 
     def test_single_rank_degenerate(self, strategy):

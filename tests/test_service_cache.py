@@ -134,3 +134,101 @@ class TestKnowledgeExport:
         warm = kb.warm_start_params(entry.n_nodes, entry.density, entry.weighted)
         assert warm is not None
         np.testing.assert_allclose(warm, [0.2, 0.5])
+
+
+class TestCompaction:
+    """ResultCache.compact(): per-entry JSON files -> data file + index."""
+
+    def test_compact_round_trip(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        entries = {f"d{i:02d}": make_entry(f"d{i:02d}", seed=i) for i in range(5)}
+        for entry in entries.values():
+            cache.put(entry)
+        assert len(list(tmp_path.glob("d*.json"))) == 5
+        stats = cache.compact()
+        assert stats["entries"] == 5
+        assert stats["merged_files"] == 5
+        assert not list(tmp_path.glob("d*.json"))  # loose files merged away
+        assert (tmp_path / "compact.data.jsonl").exists()
+        assert (tmp_path / "compact.index.json").exists()
+        # A fresh cache (cold memory) serves every entry from the store.
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.disk_entries() == 5
+        for digest, original in entries.items():
+            got, tier = fresh.get_tiered(digest)
+            assert tier == "disk"
+            assert got.cut == original.cut
+            np.testing.assert_array_equal(got.assignment, original.assignment)
+            np.testing.assert_array_equal(got.canon_u, original.canon_u)
+
+    def test_post_compaction_writes_win_and_recompact(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(make_entry("dup", seed=1))
+        cache.compact()
+        # A fresh write-through lands as a loose file and shadows the
+        # compacted copy until the next compaction folds it in.
+        newer = make_entry("dup", seed=2)
+        cache.put(newer)
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.disk_entries() == 1
+        assert fresh.get("dup").cut == newer.cut
+        stats = cache.compact()
+        assert stats["entries"] == 1 and stats["merged_files"] == 1
+        fresh2 = ResultCache(disk_dir=tmp_path)
+        assert fresh2.get("dup").cut == newer.cut
+
+    def test_compact_empty_dir(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        stats = cache.compact()
+        assert stats == {"entries": 0, "merged_files": 0, "data_bytes": 0}
+        assert cache.disk_entries() == 0
+
+    def test_compact_requires_disk_tier(self):
+        with pytest.raises(ValueError, match="disk_dir"):
+            ResultCache().compact()
+
+    def test_torn_index_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(make_entry("x1"))
+        cache.compact()
+        (tmp_path / "compact.index.json").write_text("{not json")
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get("x1") is None  # miss, never a crash
+        assert fresh.disk_entries() == 0
+
+    def test_torn_loose_file_skipped_by_compaction(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(make_entry("ok"))
+        (tmp_path / "torn.json").write_text("{broken")
+        stats = cache.compact()
+        assert stats["entries"] == 1
+        assert ResultCache(disk_dir=tmp_path).get("ok") is not None
+
+    def test_compaction_metric(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(make_entry("m1"))
+        cache.compact()
+        assert cache.metrics.count("compactions") == 1
+
+    def test_torn_loose_file_falls_through_to_compacted_copy(self, tmp_path):
+        # A crashed write-through must not shadow a valid compacted entry.
+        cache = ResultCache(disk_dir=tmp_path)
+        entry = make_entry("shadowed")
+        cache.put(entry)
+        cache.compact()
+        (tmp_path / "shadowed.json").write_text('{"digest": "shadowed", tor')
+        fresh = ResultCache(disk_dir=tmp_path)
+        got = fresh.get("shadowed")
+        assert got is not None and got.cut == entry.cut
+
+    def test_stale_index_digest_mismatch_is_a_miss(self, tmp_path):
+        # An index read against a rewritten data file may land cleanly on
+        # a different entry; the digest check turns that into a miss.
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(make_entry("aaa"))
+        cache.put(make_entry("bbb", seed=9))
+        cache.compact()
+        index = cache._load_compact_index()
+        index["aaa"], index["bbb"] = index["bbb"], index["aaa"]  # simulate stale
+        assert cache._compact_get("aaa") is None
+        assert cache._compact_get("bbb") is None

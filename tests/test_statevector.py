@@ -6,11 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quantum.gates import CX, H, X, rx, rzz
+from repro.quantum.backend import NumpyBackend
 from repro.quantum.statevector import (
     apply_diagonal,
     apply_gate,
     apply_one_qubit,
-    apply_rx_layer,
     basis_state,
     expectation_diagonal,
     fidelity,
@@ -95,7 +95,7 @@ class TestApplyGate:
             with pytest.raises(ValueError, match="power of 2"):
                 apply_one_qubit(state, X, 0)
             with pytest.raises(ValueError, match="power of 2"):
-                apply_rx_layer(state, 0.3)
+                NumpyBackend().apply_mixer_layer(state, 0.3)
 
     def test_empty_state_rejected(self):
         with pytest.raises(ValueError, match="power of 2"):
@@ -139,16 +139,16 @@ class TestDiagonalAndMixer:
         expected = state.copy()
         for q in range(3):
             expected = apply_gate(expected, rx(2 * beta), [q])
-        assert np.allclose(apply_rx_layer(state.copy(), beta), expected)
+        assert np.allclose(NumpyBackend().apply_mixer_layer(state.copy(), beta), expected)
 
     def test_rx_layer_beta_zero_identity(self):
         state = plus_state(3)
-        assert np.allclose(apply_rx_layer(state.copy(), 0.0), state)
+        assert np.allclose(NumpyBackend().apply_mixer_layer(state.copy(), 0.0), state)
 
     def test_plus_state_invariant_under_mixer(self):
         # |+>^n is the X-mixer ground state: only a global phase applies.
         state = plus_state(4)
-        out = apply_rx_layer(state.copy(), 0.8)
+        out = NumpyBackend().apply_mixer_layer(state.copy(), 0.8)
         assert fidelity(out, state) == pytest.approx(1.0, abs=1e-10)
 
 

@@ -141,6 +141,45 @@ class TestScratchPool:
     def test_shared_pool_is_singleton(self):
         assert shared_pool() is shared_pool()
 
+    def test_byte_budget_evicts_lru_shapes(self):
+        # Regression for the unbounded-growth bug: mixed-shape workloads
+        # (service streams over many sub-graph sizes) used to accumulate
+        # one dead buffer pair per shape forever.
+        pool = ScratchPool(max_bytes=16 * 1024)
+        for i in range(1, 9):  # shapes of 1..8 KiB, 36 KiB total
+            pool.take("states", (i, 1 << 6))
+        assert pool.nbytes() <= 16 * 1024
+        assert pool.evictions > 0
+        # The most recently taken shapes survive; the oldest were dropped.
+        buffers_before = pool.n_buffers
+        pool.take("states", (8, 1 << 6))  # hot shape: no new allocation
+        assert pool.n_buffers == buffers_before
+
+    def test_budget_never_evicts_the_taken_buffer(self):
+        pool = ScratchPool(max_bytes=64)  # smaller than any real buffer
+        buf = pool.take("states", (4, 16))
+        assert buf.shape == (4, 16)
+        assert pool.n_buffers == 1  # retained even though over budget
+        again = pool.take("states", (4, 16))
+        assert again is buf
+
+    def test_lru_order_is_take_order(self):
+        pool = ScratchPool(max_bytes=3 * 16 * 16)  # fits three (1,16) buffers
+        a = pool.take("a", (1, 16))
+        pool.take("b", (1, 16))
+        pool.take("c", (1, 16))
+        # Touch "a", then overflow: "b" (now coldest) must be evicted.
+        assert pool.take("a", (1, 16)) is a
+        pool.take("d", (1, 16))
+        assert pool.evictions == 1
+        assert pool.take("a", (1, 16)) is a  # still pooled
+        pool.clear()
+        assert pool.nbytes() == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ScratchPool(max_bytes=0)
+
 
 class TestConsumers:
     def test_solver_with_engine_matches_without(self):
