@@ -10,12 +10,17 @@ a few hot sub-graphs recur constantly — answered two ways:
   service's own cold path runs);
 * **service**  — the same requests through :class:`repro.service.
   MaxCutService`: canonical-fingerprint cache, request coalescing,
-  shared diagonals.
+  shared diagonals;
+* **async**    — the same requests again through
+  :class:`repro.service.AsyncMaxCutServer`: ``ASYNC_CLIENTS`` concurrent
+  client tasks over ``ASYNC_SHARDS`` fingerprint-prefix shards, with
+  cross-client in-flight coalescing and bounded-queue admission.
 
-Acceptance bar, enforced on every CI run via ``--quick``: the service
-answers the stream ≥5× faster with checksum-identical cut values.
+Acceptance bars, enforced on every CI run via ``--quick``: both the
+synchronous facade **and the concurrent-client async path** answer the
+stream ≥5× faster than uncached, with checksum-identical cut values.
 ``--quick`` writes the shared-schema ``BENCH_service.json`` regression
-record (cached-path seconds + cut checksum).
+record (async-path seconds + cut/counter checksum).
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import numpy as np
 import pytest
 
 from repro.qaoa2.solver import _solve_subgraph_job
-from repro.service import MaxCutService, zipf_requests
+from repro.service import MaxCutService, serve_requests, zipf_requests
 
 N_REQUESTS = 100
 UNIVERSE = 8
@@ -40,6 +45,9 @@ STREAM_SEED = 0
 # stream exercises both dedup mechanisms: coalescing within a batch and
 # cache hits across batches.
 BATCH_SIZE = 10
+# Async path: concurrent client tasks and fingerprint-prefix shards.
+ASYNC_CLIENTS = 4
+ASYNC_SHARDS = 2
 
 
 def _requests():
@@ -99,9 +107,35 @@ def test_service_stream(benchmark, requests):
     assert len(results) == N_REQUESTS
 
 
+def _serve_stream_async(requests):
+    """The concurrent-client path: N client tasks over sharded workers."""
+    return serve_requests(
+        requests,
+        clients=ASYNC_CLIENTS,
+        n_shards=ASYNC_SHARDS,
+        seed=0,
+        max_batch=BATCH_SIZE,
+    )
+
+
+def test_async_stream(benchmark, requests):
+    server, results = benchmark.pedantic(
+        _serve_stream_async, args=(requests,), rounds=1, iterations=1
+    )
+    assert len(results) == N_REQUESTS
+
+
 def test_service_cuts_identical(requests):
     direct = _solve_uncached(requests)
     _service, served = _serve_stream(requests)
+    for ref, res in zip(direct, served):
+        assert res.cut == ref["cut"]
+        assert np.array_equal(res.assignment, ref["assignment"])
+
+
+def test_async_cuts_identical(requests):
+    direct = _solve_uncached(requests)
+    _server, served = _serve_stream_async(requests)
     for ref, res in zip(direct, served):
         assert res.cut == ref["cut"]
         assert np.array_equal(res.assignment, ref["assignment"])
@@ -121,11 +155,20 @@ def quick_report() -> dict:
     service, served = _serve_stream(requests)
     cached_s = time.perf_counter() - start
 
+    start = time.perf_counter()
+    server, served_async = _serve_stream_async(requests)
+    async_s = time.perf_counter() - start
+
     cuts_identical = all(
         res.cut == ref["cut"] and np.array_equal(res.assignment, ref["assignment"])
         for ref, res in zip(direct, served)
     )
+    async_cuts_identical = all(
+        res.cut == ref["cut"] and np.array_equal(res.assignment, ref["assignment"])
+        for ref, res in zip(direct, served_async)
+    )
     metrics = service.metrics
+    async_metrics = server.merged_metrics()
     return {
         "bench": "service_quick",
         "n_requests": N_REQUESTS,
@@ -134,15 +177,23 @@ def quick_report() -> dict:
         "edge_prob": EDGE_PROB,
         "zipf_exponent": ZIPF_EXPONENT,
         "options": dict(OPTIONS),
+        "async_clients": ASYNC_CLIENTS,
+        "async_shards": ASYNC_SHARDS,
         "uncached_s": uncached_s,
         "service_s": cached_s,
+        "async_s": async_s,
         "throughput_gain": uncached_s / cached_s,
+        "async_gain": uncached_s / async_s,
         "hits_memory": metrics.count("hits_memory"),
         "coalesced": metrics.count("coalesced"),
         "misses": metrics.count("misses"),
+        "async_hits_memory": async_metrics.count("hits_memory"),
+        "async_coalesced": async_metrics.count("coalesced"),
+        "async_misses": async_metrics.count("misses"),
         "request_p50_s": metrics.percentile("request", 50.0),
         "request_p95_s": metrics.percentile("request", 95.0),
         "cuts_identical": bool(cuts_identical),
+        "async_cuts_identical": bool(async_cuts_identical),
         "cuts": [round(res.cut, 9) for res in served],
     }
 
@@ -163,10 +214,18 @@ def main() -> None:
     if not args.quick:
         parser.error("run under pytest for full benchmarks, or pass --quick")
     report = quick_report()
-    # ISSUE 4 acceptance bar, enforced on every CI run.
+    # ISSUE 4 acceptance bar (synchronous facade), still enforced.
     assert report["cuts_identical"], "service cut values diverged from direct solves"
     assert report["throughput_gain"] >= 5.0, (
         f"service only {report['throughput_gain']:.1f}x faster than uncached"
+    )
+    # ISSUE 6 acceptance bar: the ≥5× gate also covers the async
+    # concurrent-client path, with checksum-identical cuts.
+    assert report["async_cuts_identical"], (
+        "async server cut values diverged from direct solves"
+    )
+    assert report["async_gain"] >= 5.0, (
+        f"async server only {report['async_gain']:.1f}x faster than uncached"
     )
     printable = {k: v for k, v in report.items() if k != "cuts"}
     text = json.dumps(printable, indent=2)
@@ -177,13 +236,22 @@ def main() -> None:
         "service",
         n=N_NODES,
         p=OPTIONS["layers"],
-        seconds=report["service_s"],
+        # The async path is the serving stack's flagship; its seconds are
+        # what the 1.5× time budget tracks.
+        seconds=report["async_s"],
         checksum=bench_checksum(
             {
                 "cuts": report["cuts"],
                 "misses": report["misses"],
                 "hits_memory": report["hits_memory"],
                 "coalesced": report["coalesced"],
+                # Async-path determinism: cut values are pinned via
+                # async_cuts_identical and cold solves via async_misses.
+                # (The hits/coalesced *split* is timing-dependent — a
+                # duplicate is coalesced while its owner is in flight,
+                # a hit afterwards — so it stays out of the checksum.)
+                "async_misses": report["async_misses"],
+                "async_cuts_identical": report["async_cuts_identical"],
             }
         ),
     )

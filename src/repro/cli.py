@@ -11,6 +11,9 @@ writing Python:
 * ``coordinator``   — the Fig. 2 coordinator/worker scaling run
 * ``service-stats`` — run a Zipf request stream through MaxCutService and
   print its counters / latency histograms / cache report
+* ``serve``         — drive the same stream through the async sharded
+  front end (AsyncMaxCutServer): concurrent clients, in-flight
+  coalescing, per-shard queues; prints the merged shard report
 """
 
 from __future__ import annotations
@@ -178,6 +181,42 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve_requests, zipf_requests
+
+    requests = zipf_requests(
+        n_requests=args.requests,
+        universe=args.universe,
+        n_nodes=args.nodes,
+        edge_prob=args.edge_prob,
+        zipf_exponent=args.zipf,
+        options={"layers": args.layers, "maxiter": args.maxiter,
+                 "backend": args.backend},
+        rng=args.seed,
+    )
+    server, results = serve_requests(
+        requests,
+        clients=args.clients,
+        n_shards=args.shards,
+        seed=args.seed,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        max_batch=args.max_batch,
+        disk_dir=args.disk_dir,
+        cache_cost_floor=args.cache_cost_floor,
+        compact_every=args.compact_every,
+    )
+    solved = sum(1 for res in results if not res.failed)
+    print(
+        f"served {solved}/{len(results)} requests over {args.universe} "
+        f"distinct graphs with {args.clients} concurrent clients on "
+        f"{args.shards} shard(s)"
+    )
+    print()
+    print(server.stats_report())
+    return 0
+
+
 def cmd_hetjobs(args: argparse.Namespace) -> int:
     from repro.experiments import run_hetjob_experiment
 
@@ -284,6 +323,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="statevector evolution backend for QAOA solves")
     p_stats.add_argument("--seed", type=int, default=0)
     p_stats.set_defaults(func=cmd_service_stats)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drive a Zipf stream through the async sharded server "
+             "(concurrent clients + in-flight coalescing), print stats",
+    )
+    p_serve.add_argument("--requests", type=int, default=60)
+    p_serve.add_argument("--universe", type=int, default=6,
+                         help="number of distinct graphs in the stream")
+    p_serve.add_argument("--nodes", type=int, default=12)
+    p_serve.add_argument("--edge-prob", type=float, default=0.3)
+    p_serve.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf exponent of the request popularity")
+    p_serve.add_argument("--layers", type=int, default=2)
+    p_serve.add_argument("--maxiter", type=int, default=30)
+    p_serve.add_argument("--clients", type=int, default=4,
+                         help="concurrent client tasks")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="fingerprint-prefix shards (one worker each)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="bounded per-shard admission queue")
+    p_serve.add_argument("--admission", choices=("reject", "shed"),
+                         default="reject",
+                         help="full-queue policy: refuse new, or shed oldest")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="micro-batch size per shard worker dispatch")
+    p_serve.add_argument("--disk-dir", type=str, default=None,
+                         help="enable per-shard JSON disk cache tiers here")
+    p_serve.add_argument("--cache-cost-floor", type=float, default=None,
+                         help="only cache solves costlier than this many "
+                              "seconds (omit: cache everything)")
+    p_serve.add_argument("--compact-every", type=int, default=None,
+                         help="threshold-compact each shard's disk tier "
+                              "after this many loose writes")
+    p_serve.add_argument("--backend", choices=_backend_choices(), default="auto",
+                         help="statevector evolution backend for QAOA solves")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_het = sub.add_parser("hetjobs", help="the Fig. 1 scheduling comparison")
     p_het.add_argument("--jobs", type=int, default=3)

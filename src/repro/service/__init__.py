@@ -12,6 +12,12 @@ work is a *request* (graph + solver configuration) rather than a graph:
   SPSA batches, shared cut diagonals, executor fan-out;
 * :mod:`repro.service.service`     — the :class:`MaxCutService` facade
   (``submit`` / ``result`` / ``solve`` / ``solve_many``);
+* :mod:`repro.service.sharding`    — fingerprint-prefix shard routing
+  (:class:`ShardRouter`): deterministic and relabeling-invariant;
+* :mod:`repro.service.server`      — :class:`AsyncMaxCutServer`, the
+  asyncio front end: concurrent clients, cross-client in-flight
+  coalescing, bounded-queue admission control, per-shard worker
+  threads (``python -m repro serve``);
 * :mod:`repro.service.metrics`     — counters and latency histograms
   behind ``python -m repro service-stats``.
 
@@ -27,26 +33,43 @@ from repro.service.fingerprint import (
 )
 from repro.service.metrics import LatencyStats, ServiceMetrics
 from repro.service.scheduler import BatchScheduler, ScheduledJob
+from repro.service.server import (
+    AsyncMaxCutServer,
+    RequestError,
+    ServerOverloaded,
+    serve_requests,
+)
 from repro.service.service import (
     MaxCutService,
+    RequestKey,
     ServiceResult,
     SolveRequest,
+    build_request,
     zipf_requests,
 )
+from repro.service.sharding import ShardRouter, shard_for_digest
 
 __all__ = [
+    "AsyncMaxCutServer",
     "BatchScheduler",
     "CacheEntry",
     "GraphFingerprint",
     "LatencyStats",
     "MaxCutService",
+    "RequestError",
+    "RequestKey",
     "ResultCache",
     "ScheduledJob",
+    "ServerOverloaded",
     "ServiceMetrics",
     "ServiceResult",
+    "ShardRouter",
     "SolveRequest",
+    "build_request",
     "canonical_fingerprint",
     "config_token",
     "request_digest",
+    "serve_requests",
+    "shard_for_digest",
     "zipf_requests",
 ]

@@ -20,7 +20,17 @@ Tiers
   compacted data file plus a byte-offset index (``repro service-stats
   --compact``), so long-lived stores stop accumulating one inode per
   solve; fresh write-throughs keep landing as per-entry files (newest
-  wins) until the next compaction folds them in.
+  wins) until the next compaction folds them in.  Pass ``compact_every=N``
+  to trigger compaction automatically once ``N`` loose files have been
+  written since the last one — the async server's default mode, replacing
+  the operator-invoked path for long-lived services.
+
+Thread safety: one re-entrant lock serialises every public operation
+(get/put/compact/clear), so the async server's shard worker threads — and
+a threshold compaction firing inside a ``put`` — can share an instance
+without torn LRU state.  Cross-*process* safety remains what it was:
+atomic tmp+rename compaction, newest-loose-file-wins, and any torn or
+stale read degrades to a miss.
 
 Entries that carry optimal QAOA angles can be exported into the paper's
 Fig. 3 knowledge base (:meth:`ResultCache.export_knowledge`), turning the
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -131,17 +142,25 @@ class ResultCache:
         max_bytes: int = DEFAULT_MAX_BYTES,
         disk_dir: Optional[str | Path] = None,
         metrics: Optional[ServiceMetrics] = None,
+        compact_every: Optional[int] = None,
     ) -> None:
         if max_bytes < 1:
             raise ValueError("max_bytes must be positive")
+        if compact_every is not None and compact_every < 1:
+            raise ValueError("compact_every must be positive (or None)")
         self.max_bytes = int(max_bytes)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.compact_every = compact_every
         self._entries: Dict[str, CacheEntry] = {}  # insertion = LRU order
         self._nbytes = 0
         self._compact_index: Optional[Dict[str, Tuple[int, int]]] = None
+        self._loose_writes = 0  # write-throughs since the last compaction
+        # Re-entrant: a threshold compaction fires inside _admit, which
+        # already holds the lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -166,32 +185,40 @@ class ResultCache:
         a miss.  Callers must still verify :meth:`CacheEntry.matches`
         against the request's fingerprint before trusting the entry.
         """
-        entry = self._entries.get(digest)
-        if entry is not None:
-            # LRU touch: re-insert at the most-recent end.
-            del self._entries[digest]
-            self._entries[digest] = entry
-            entry.hits += 1
-            return entry, "memory"
-        entry = self._disk_get(digest)
-        if entry is not None:
-            entry.hits += 1
-            self._admit(entry, write_through=False)
-            return entry, "disk"
-        return None, None
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                # LRU touch: re-insert at the most-recent end.
+                del self._entries[digest]
+                self._entries[digest] = entry
+                entry.hits += 1
+                return entry, "memory"
+            entry = self._disk_get(digest)
+            if entry is not None:
+                entry.hits += 1
+                self._admit(entry, write_through=False)
+                return entry, "disk"
+            return None, None
 
     def put(self, entry: CacheEntry) -> None:
         self._admit(entry, write_through=True)
 
     def _admit(self, entry: CacheEntry, *, write_through: bool) -> None:
-        old = self._entries.pop(entry.digest, None)
-        if old is not None:
-            self._nbytes -= old.nbytes
-        self._entries[entry.digest] = entry
-        self._nbytes += entry.nbytes
-        if write_through and self.disk_dir is not None:
-            self._disk_put(entry)
-        self._evict()
+        with self._lock:
+            old = self._entries.pop(entry.digest, None)
+            if old is not None:
+                self._nbytes -= old.nbytes
+            self._entries[entry.digest] = entry
+            self._nbytes += entry.nbytes
+            if write_through and self.disk_dir is not None:
+                self._disk_put(entry)
+                self._loose_writes += 1
+                if (
+                    self.compact_every is not None
+                    and self._loose_writes >= self.compact_every
+                ):
+                    self.compact()
+            self._evict()
 
     def _evict(self) -> None:
         while self._nbytes > self.max_bytes and len(self._entries) > 1:
@@ -201,8 +228,9 @@ class ResultCache:
             self.metrics.increment("evictions")
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._nbytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
 
     # ------------------------------------------------------------------
     def _disk_path(self, digest: str) -> Path:
@@ -240,9 +268,10 @@ class ResultCache:
         """Distinct digests reachable on disk (loose files + compacted)."""
         if self.disk_dir is None:
             return 0
-        digests = {path.stem for path in self._loose_files()}
-        digests.update(self._load_compact_index())
-        return len(digests)
+        with self._lock:
+            digests = {path.stem for path in self._loose_files()}
+            digests.update(self._load_compact_index())
+            return len(digests)
 
     # ------------------------------------------------------------------
     # Compacted store: one JSONL data file + {digest: [offset, length]}
@@ -291,9 +320,17 @@ class ResultCache:
         rewrites ``compact.data.jsonl`` + ``compact.index.json``
         atomically (tmp + rename), and deletes the merged loose files.
         Returns ``{"entries", "merged_files", "data_bytes"}``.
+
+        Runs holding the cache lock, so it is safe to trigger from any
+        thread — including the threshold path firing inside a concurrent
+        ``put`` — while other threads read and write.
         """
         if self.disk_dir is None:
             raise ValueError("compact() requires a disk_dir-backed cache")
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, int]:
         payloads: Dict[str, dict] = {}
         for digest in self._load_compact_index():
             entry = self._compact_get(digest)
@@ -342,6 +379,7 @@ class ResultCache:
             except OSError:
                 continue
         self._compact_index = index
+        self._loose_writes = 0
         self.metrics.increment("compactions")
         return {
             "entries": len(index),

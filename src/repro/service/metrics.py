@@ -12,17 +12,35 @@ Counter vocabulary used by the service stack (callers may add their own):
 ``hits_disk``       answered from the JSON disk tier (then promoted)
 ``misses``          required an actual solve
 ``coalesced``       duplicate in-flight requests folded into one job
+    (both within one ``solve_many`` batch and — on the async server —
+    across concurrent clients; the latter additionally counts as
+    ``coalesced_inflight``)
 ``solves``          cold solves executed
+``errors``          requests answered with a captured per-request error
 ``lockstep_jobs``   jobs dispatched inside a lock-step SPSA batch
 ``lockstep_batches``lock-step batches dispatched
 ``shared_diagonals``jobs that reused a batch-mate's cut diagonal
 ``evictions``       LRU entries dropped for the byte budget
+``compactions``     disk-tier compactions (operator- or threshold-run)
+``cache_skipped``   solves below the cost floor, not admitted to cache
+``executor_retries``job batches re-run serially after an executor crash
+``rejected``        submissions refused by a full shard queue (reject)
+``shed``            queued submissions dropped for a newer one (shed)
 ``backend_<name>``  QAOA solves evolved by that statevector backend
+
+Per-shard accounting satisfies ``requests == hits_memory + hits_disk +
+coalesced + misses`` (rejected/shed submissions were never admitted and
+are counted separately; ``errors`` counts the subset of misses/coalesced
+answered with a captured error) — pinned by the server test suite.
+
+All mutation goes through one lock per :class:`ServiceMetrics` instance,
+so shard worker threads and the event-loop thread can share a recorder.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import threading
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -88,6 +106,19 @@ class LatencyStats:
             "max": self.max if self.count else float("nan"),
         }
 
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold ``other``'s observations into this recorder (shard rollup).
+
+        Exact statistics (count/total/min/max) merge exactly; the sample
+        reservoir is concatenated and truncated to capacity, which keeps
+        percentiles representative when the inputs are same-order sized.
+        """
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._samples = (self._samples + other._samples)[: self.reservoir]
+
 
 class ServiceMetrics:
     """Counter map + named latency histograms, with a text report."""
@@ -96,19 +127,25 @@ class ServiceMetrics:
         self._reservoir = reservoir
         self.counters: Dict[str, int] = {}
         self.latencies: Dict[str, LatencyStats] = {}
+        # Shard workers mutate their service's metrics from worker
+        # threads while the event loop reads them; one lock per instance
+        # keeps read-modify-write increments and reservoir appends atomic.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def increment(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + int(n)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(n)
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     def observe(self, name: str, seconds: float) -> None:
-        stats = self.latencies.get(name)
-        if stats is None:
-            stats = self.latencies[name] = LatencyStats(self._reservoir)
-        stats.observe(seconds)
+        with self._lock:
+            stats = self.latencies.get(name)
+            if stats is None:
+                stats = self.latencies[name] = LatencyStats(self._reservoir)
+            stats.observe(seconds)
 
     def percentile(self, name: str, q: float) -> float:
         stats = self.latencies.get(name)
@@ -122,6 +159,26 @@ class ServiceMetrics:
                 for name, stats in sorted(self.latencies.items())
             },
         }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(cls, parts: Iterable["ServiceMetrics"]) -> "ServiceMetrics":
+        """One recorder aggregating several shards' counters/latencies."""
+        out: Optional[ServiceMetrics] = None
+        for part in parts:
+            if out is None:
+                out = cls(part._reservoir)
+            with part._lock:
+                counters = dict(part.counters)
+                latencies = dict(part.latencies)
+            for name, value in counters.items():
+                out.increment(name, value)
+            for name, stats in latencies.items():
+                target = out.latencies.get(name)
+                if target is None:
+                    target = out.latencies[name] = LatencyStats(out._reservoir)
+                target.merge(stats)
+        return out if out is not None else cls()
 
     # ------------------------------------------------------------------
     def hit_rate(self) -> Optional[float]:

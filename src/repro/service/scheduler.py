@@ -26,6 +26,15 @@ with as much sharing as correctness allows:
 
 Results are always returned in submission order, so serial and
 concurrent scheduler runs are indistinguishable to the caller.
+
+Fault tolerance (the async server's contract): when an executor batch
+dies wholesale — a worker process killed mid-solve surfaces as
+``BrokenProcessPool`` — the batch is **retried serially in-process**,
+which reproduces the exact per-job reference computation (the job
+function is deterministic in its payload).  A job that then still fails
+is, under ``capture_errors=True``, returned as an ``{"error": ...}``
+result dict instead of poisoning its batch-mates; with the default
+``capture_errors=False`` the exception propagates as before.
 """
 
 from __future__ import annotations
@@ -131,6 +140,7 @@ class BatchScheduler:
         jobs: Sequence[ScheduledJob],
         *,
         executor: Optional[ExecutorConfig] = None,
+        capture_errors: bool = False,
     ) -> List[dict]:
         """Execute all jobs; result dicts land in submission order.
 
@@ -138,7 +148,9 @@ class BatchScheduler:
         them that way); each result lands in its job's slot.  ``executor``
         overrides the scheduler's default backend for this batch — QAOA²
         passes its own leaf executor through so ``--backend thread`` keeps
-        its meaning on the service path.
+        its meaning on the service path.  ``capture_errors=True`` turns a
+        failing job into an ``{"error": ...}`` result dict instead of an
+        exception (see the module docs for the retry semantics).
         """
         executor = executor if executor is not None else self.executor
         results: List[Optional[dict]] = [None] * len(jobs)
@@ -150,7 +162,9 @@ class BatchScheduler:
         for group in groups.values():
             leftovers = group
             if self.lockstep:
-                leftovers = self._dispatch_lockstep(group, results)
+                leftovers = self._dispatch_lockstep(
+                    group, results, capture_errors=capture_errors
+                )
             generic.extend(leftovers)
 
         generic.sort(key=lambda job: job.index)  # submission order
@@ -158,10 +172,13 @@ class BatchScheduler:
             payloads = [job.payload() for job in generic]
             if self.share_diagonals:
                 self._share_diagonals(generic, payloads, executor)
-            solved = map_jobs(_solve_subgraph_job, payloads, config=executor)
+            solved = self._map_resilient(payloads, executor, capture_errors)
             for job, result in zip(generic, solved):
                 results[job.index] = result
         self.metrics.increment("solves", len(jobs))
+        failed = sum(1 for r in results if r and r.get("error"))
+        if failed:
+            self.metrics.increment("job_errors", failed)
         # Per-backend solve counters ("backend_numpy", "backend_fused",
         # ...) so the stats report shows which evolve kernels served the
         # traffic.
@@ -170,6 +187,39 @@ class BatchScheduler:
             if name:
                 self.metrics.increment(f"backend_{name}")
         return results
+
+    # ------------------------------------------------------------------
+    def _map_resilient(
+        self,
+        payloads: List[dict],
+        executor: ExecutorConfig,
+        capture_errors: bool,
+    ) -> List[dict]:
+        """``map_jobs`` with an in-process serial retry on executor death.
+
+        ``pool.map`` raises on the *first* failure, discarding every other
+        job's work — whether the cause is one poisoned payload or a worker
+        process dying mid-solve (``BrokenProcessPool``).  The retry runs
+        each job serially so one bad job cannot take its batch-mates down,
+        and deterministic jobs recompute their reference results exactly.
+        """
+        try:
+            return map_jobs(_solve_subgraph_job, payloads, config=executor)
+        except Exception:
+            self.metrics.increment("executor_retries")
+        return [self._solve_or_error(p, capture_errors) for p in payloads]
+
+    def _solve_or_error(self, payload: dict, capture_errors: bool) -> dict:
+        try:
+            return _solve_subgraph_job(payload)
+        except Exception as exc:
+            if not capture_errors:
+                raise
+            return {
+                "error": f"{type(exc).__name__}: {exc}",
+                "method": payload.get("method"),
+                "elapsed": 0.0,
+            }
 
     # ------------------------------------------------------------------
     def _share_diagonals(
@@ -205,7 +255,11 @@ class BatchScheduler:
 
     # ------------------------------------------------------------------
     def _dispatch_lockstep(
-        self, group: List[ScheduledJob], results: List[Optional[dict]]
+        self,
+        group: List[ScheduledJob],
+        results: List[Optional[dict]],
+        *,
+        capture_errors: bool = False,
     ) -> List[ScheduledJob]:
         """Run lock-step-eligible sub-batches of one shape group.
 
@@ -230,7 +284,15 @@ class BatchScheduler:
             if len(batch) < 2:
                 leftovers.extend(batch)
                 continue
-            solved = _solve_lockstep_batch(batch[0].graph, batch, solvers[token])
+            try:
+                solved = _solve_lockstep_batch(batch[0].graph, batch, solvers[token])
+            except Exception:
+                if not capture_errors:
+                    raise
+                # Fall back to the generic path, whose serial retry
+                # captures the failure per job.
+                leftovers.extend(batch)
+                continue
             for job, result in zip(batch, solved):
                 results[job.index] = result
             self.metrics.increment("lockstep_jobs", len(batch))

@@ -77,10 +77,17 @@ class SolveRequest:
 
 @dataclass
 class ServiceResult:
-    """Answer to one request, plus serving metadata."""
+    """Answer to one request, plus serving metadata.
+
+    ``status`` is one of ``"solved"``, ``"coalesced"`` (folded into a
+    batch-mate's solve), ``"coalesced-inflight"`` (the async server folded
+    it into another client's in-flight solve), ``"hit-memory"`` /
+    ``"hit-disk"`` (cache tiers), or ``"error"`` (capture-mode services
+    only; the failure text is in ``extra["error"]`` and ``cut`` is NaN).
+    """
 
     digest: str
-    status: str  # "solved" | "coalesced" | "hit-memory" | "hit-disk"
+    status: str
     assignment: np.ndarray
     cut: float
     method: str
@@ -93,8 +100,60 @@ class ServiceResult:
     def cached(self) -> bool:
         return self.status.startswith("hit")
 
+    @property
+    def failed(self) -> bool:
+        return self.status == "error"
+
     def as_cut_result(self) -> CutResult:
         return CutResult(self.assignment, self.cut, self.method, dict(self.extra))
+
+
+@dataclass(frozen=True)
+class RequestKey:
+    """A request's resolved identity: fingerprint + seed + cache digest.
+
+    Everything downstream — cache lookup, coalescing, shard routing —
+    keys off this triple; :meth:`MaxCutService.describe` computes it once
+    per request.
+    """
+
+    fp: GraphFingerprint
+    seed: int
+    digest: str
+
+
+def build_request(
+    graph: Optional[Graph] = None,
+    *,
+    request: Optional[SolveRequest] = None,
+    **options,
+) -> SolveRequest:
+    """Normalise the facade's two calling styles into one SolveRequest.
+
+    Accepts either a prebuilt request or a graph plus keyword knobs
+    (``method=``, ``seed=``, and any ``QAOASolver`` option) — shared by
+    the synchronous ``submit`` and the async server front end.
+    """
+    if request is None:
+        if graph is None:
+            raise ValueError("submit() needs a graph or a request")
+        method = options.pop("method", "qaoa")
+        seed = options.pop("seed", None)
+        qaoa_grid = options.pop("qaoa_grid", None)
+        gw_options = options.pop("gw_options", None) or {}
+        exact = options.pop("exact", False)
+        return SolveRequest(
+            graph=graph,
+            method=method,
+            options=options,
+            qaoa_grid=qaoa_grid,
+            gw_options=gw_options,
+            seed=seed,
+            exact=exact,
+        )
+    if graph is not None or options:
+        raise ValueError("pass either request= or graph+options, not both")
+    return request
 
 
 # Unclaimed tickets (submitted, flushed, never fetched) are retained up to
@@ -117,13 +176,31 @@ class MaxCutService:
         seed: RngLike = 0,
         lockstep: bool = True,
         use_cache: bool = True,
+        cache_cost_floor: object = None,
+        error_mode: str = "raise",
+        compact_every: Optional[int] = None,
     ) -> None:
+        if error_mode not in ("raise", "capture"):
+            raise ValueError(
+                f"unknown error_mode {error_mode!r}; expected 'raise' or 'capture'"
+            )
+        if not (
+            cache_cost_floor is None
+            or cache_cost_floor == "auto"
+            or isinstance(cache_cost_floor, (int, float))
+        ):
+            raise ValueError(
+                "cache_cost_floor must be None, 'auto', or seconds (float)"
+            )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.cache = (
             cache
             if cache is not None
             else ResultCache(
-                max_bytes=max_bytes, disk_dir=disk_dir, metrics=self.metrics
+                max_bytes=max_bytes,
+                disk_dir=disk_dir,
+                metrics=self.metrics,
+                compact_every=compact_every,
             )
         )
         self.scheduler = BatchScheduler(
@@ -133,6 +210,13 @@ class MaxCutService:
         # the request fingerprint so they are submission-order independent.
         self.master_seed = int(ensure_rng(seed).integers(2**63 - 1))
         self.use_cache = use_cache
+        # Cache-admission floor: only store solves whose measured cost
+        # exceeds this many seconds ("auto" = the measured mean
+        # fingerprint + store cost, i.e. only cache what is cheaper to
+        # replay from cache than to identify and store).  None/0 keeps
+        # the store-everything behaviour.
+        self.cache_cost_floor = cache_cost_floor
+        self.error_mode = error_mode
         self.max_retained_tickets = DEFAULT_MAX_RETAINED_TICKETS
         self._pending: List[SolveRequest] = []
         self._tickets: Dict[int, ServiceResult] = {}  # insertion-ordered
@@ -156,25 +240,7 @@ class MaxCutService:
         :meth:`flush`/:meth:`result` call — that batch is where
         coalescing and lock-step grouping happen.
         """
-        if request is None:
-            if graph is None:
-                raise ValueError("submit() needs a graph or a request")
-            method = options.pop("method", "qaoa")
-            seed = options.pop("seed", None)
-            qaoa_grid = options.pop("qaoa_grid", None)
-            gw_options = options.pop("gw_options", None) or {}
-            exact = options.pop("exact", False)
-            request = SolveRequest(
-                graph=graph,
-                method=method,
-                options=options,
-                qaoa_grid=qaoa_grid,
-                gw_options=gw_options,
-                seed=seed,
-                exact=exact,
-            )
-        elif graph is not None or options:
-            raise ValueError("pass either request= or graph+options, not both")
+        request = build_request(graph, request=request, **options)
         ticket = self._next_ticket
         self._next_ticket += 1
         self._pending.append(request)
@@ -229,41 +295,19 @@ class MaxCutService:
         requests = list(requests)
         self.metrics.increment("requests", len(requests))
 
-        fps: List[GraphFingerprint] = []
-        digests: List[str] = []
-        seeds: List[int] = []
-        for request in requests:
-            t0 = time.perf_counter()
-            fp = canonical_fingerprint(request.graph)
-            seed = self._resolve_seed(request, fp)
-            digest = request_digest(
-                fp.digest,
-                method=request.method,
-                options=request.options,
-                qaoa_grid=request.qaoa_grid,
-                gw_options=request.gw_options,
-                seed=seed,
-                exact=request.exact,
-            )
-            fps.append(fp)
-            seeds.append(seed)
-            digests.append(digest)
-            self.metrics.observe("fingerprint", time.perf_counter() - t0)
+        keys = [self.describe(request) for request in requests]
+        fps = [key.fp for key in keys]
+        seeds = [key.seed for key in keys]
+        digests = [key.digest for key in keys]
 
         results: List[Optional[ServiceResult]] = [None] * len(requests)
         owners: Dict[str, int] = {}  # digest -> owning job slot
         jobs: List[ScheduledJob] = []
         job_members: List[List[int]] = []  # per job: request indices served
         for idx, request in enumerate(requests):
-            t0 = time.perf_counter()
-            if self.use_cache:
-                entry, tier = self.cache.get_tiered(digests[idx])
-                if entry is not None and entry.matches(fps[idx]):
-                    results[idx] = self._result_from_entry(
-                        entry, fps[idx], seeds[idx], tier,
-                        time.perf_counter() - t0,
-                    )
-                    continue
+            results[idx] = self.lookup(keys[idx])
+            if results[idx] is not None:
+                continue
             digest = digests[idx]
             if digest in owners:
                 job_members[owners[digest]].append(idx)
@@ -286,14 +330,27 @@ class MaxCutService:
             job_members.append([idx])
 
         if jobs:
-            solved = self.scheduler.run(jobs, executor=executor)
+            solved = self.scheduler.run(
+                jobs,
+                executor=executor,
+                capture_errors=self.error_mode == "capture",
+            )
             for job, members, raw in zip(jobs, job_members, solved):
                 owner_idx = members[0]
+                if raw.get("error"):
+                    self.metrics.increment("errors", len(members))
+                    for idx in members:
+                        results[idx] = self._error_result(
+                            digests[idx], fps[idx], seeds[idx], raw
+                        )
+                    continue
                 entry = self._entry_from_raw(
                     digests[owner_idx], fps[owner_idx], seeds[owner_idx], raw
                 )
-                if self.use_cache:
+                if self._should_cache(raw, entry):
+                    t0 = time.perf_counter()
                     self.cache.put(entry)
+                    self.metrics.observe("cache_store", time.perf_counter() - t0)
                 # Coalesced members share the digest, hence the canonical
                 # graph — but may label it differently.  Map the canonical
                 # assignment once per distinct relabeling so identical
@@ -324,6 +381,88 @@ class MaxCutService:
             self.metrics.observe("request", res.elapsed)
         self.metrics.observe("batch", time.perf_counter() - t_batch)
         return out
+
+    # ------------------------------------------------------------------
+    # Request identity + cache lookup (shared with the async server)
+    # ------------------------------------------------------------------
+    def describe(self, request: SolveRequest) -> RequestKey:
+        """Resolve a request's fingerprint, seed and cache digest.
+
+        This is the routing-relevant identity: the async server calls it
+        once per submission to pick a shard and detect in-flight
+        duplicates, then the shard's ``solve_many`` reuses the memoised
+        fingerprint.
+        """
+        t0 = time.perf_counter()
+        fp = canonical_fingerprint(request.graph)
+        seed = self._resolve_seed(request, fp)
+        digest = request_digest(
+            fp.digest,
+            method=request.method,
+            options=request.options,
+            qaoa_grid=request.qaoa_grid,
+            gw_options=request.gw_options,
+            seed=seed,
+            exact=request.exact,
+        )
+        self.metrics.observe("fingerprint", time.perf_counter() - t0)
+        return RequestKey(fp=fp, seed=seed, digest=digest)
+
+    def lookup(self, key: RequestKey) -> Optional[ServiceResult]:
+        """Serve ``key`` from the cache if possible (counts the hit).
+
+        Returns ``None`` on a miss — including hash collisions, which the
+        stored canonical arrays detect — and does **not** count the miss:
+        the caller decides whether the request becomes a solve, a
+        coalesced duplicate, or is handed to another shard.
+        """
+        if not self.use_cache:
+            return None
+        t0 = time.perf_counter()
+        entry, tier = self.cache.get_tiered(key.digest)
+        if entry is not None and entry.matches(key.fp):
+            return self._result_from_entry(
+                entry, key.fp, key.seed, tier, time.perf_counter() - t0
+            )
+        return None
+
+    def _should_cache(self, raw: dict, entry: CacheEntry) -> bool:
+        """Cost-floor cache admission (see ``cache_cost_floor``)."""
+        if not self.use_cache:
+            return False
+        floor = self.cache_cost_floor
+        if floor is None:
+            return True
+        if floor == "auto":
+            # Admit only when replaying from cache is cheaper than the
+            # solve it would save: the hit path costs one fingerprint
+            # (+ the store itself, paid once) — both continuously
+            # measured on this very instance.
+            fingerprint = self.metrics.latencies.get("fingerprint")
+            store = self.metrics.latencies.get("cache_store")
+            floor = (fingerprint.mean if fingerprint is not None else 0.0) + (
+                store.mean if store is not None and store.count else 0.0
+            )
+        if float(raw.get("elapsed", 0.0)) >= float(floor):
+            return True
+        self.metrics.increment("cache_skipped")
+        return False
+
+    def _error_result(
+        self, digest: str, fp: GraphFingerprint, seed: int, raw: dict
+    ) -> ServiceResult:
+        """A clean per-request failure (capture-mode services only)."""
+        return ServiceResult(
+            digest=digest,
+            status="error",
+            assignment=np.zeros(fp.n_nodes, dtype=np.uint8),
+            cut=float("nan"),
+            method=str(raw.get("method")),
+            seed=seed,
+            elapsed=float(raw.get("elapsed", 0.0)),
+            params=None,
+            extra={"error": str(raw.get("error"))},
+        )
 
     # ------------------------------------------------------------------
     def _resolve_seed(self, request: SolveRequest, fp: GraphFingerprint) -> int:
@@ -450,7 +589,9 @@ def zipf_requests(
 
 __all__ = [
     "MaxCutService",
+    "RequestKey",
     "ServiceResult",
     "SolveRequest",
+    "build_request",
     "zipf_requests",
 ]

@@ -114,6 +114,38 @@ class TestExperiments:
         assert "coordinator/worker scaling" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_serve_stream(self, capsys):
+        code = main([
+            "serve", "--requests", "12", "--universe", "3", "--nodes", "8",
+            "--layers", "1", "--maxiter", "10", "--clients", "3",
+            "--shards", "2", "--backend", "numpy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 12/12 requests" in out
+        assert "2 shard(s)" in out
+        assert "AsyncMaxCutServer stats (2 shards)" in out
+        assert "shards: 2" in out  # router load report
+
+    def test_serve_with_disk_tier_and_compaction(self, capsys, tmp_path):
+        disk = tmp_path / "tier"
+        code = main([
+            "serve", "--requests", "8", "--universe", "2", "--nodes", "8",
+            "--layers", "1", "--maxiter", "10", "--clients", "2",
+            "--shards", "1", "--compact-every", "1",
+            "--disk-dir", str(disk), "--backend", "numpy",
+        ])
+        assert code == 0
+        assert "served 8/8 requests" in capsys.readouterr().out
+        # Threshold compaction produced a compacted store on the shard.
+        assert (disk / "shard-00" / "compact.index.json").exists()
+
+    def test_serve_rejects_bad_admission(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--admission", "drop-newest"])
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

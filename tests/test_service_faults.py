@@ -1,0 +1,276 @@
+"""Fault injection: torn disk stores, threshold compaction under
+concurrency, executor crashes, per-request error capture (ISSUE 6)."""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.service import AsyncMaxCutServer, MaxCutService, RequestError, ResultCache
+from repro.service.cache import COMPACT_DATA_FILE, COMPACT_INDEX_FILE
+
+from test_service_cache import make_entry
+
+pytestmark = pytest.mark.timeout(120)
+
+OPTIONS = {"layers": 1, "maxiter": 15}
+
+
+# ---------------------------------------------------------------------------
+# Torn / truncated compacted stores degrade to misses
+# ---------------------------------------------------------------------------
+class TestTornStores:
+    def _compacted(self, tmp_path, n=4):
+        cache = ResultCache(disk_dir=tmp_path)
+        for i in range(n):
+            cache.put(make_entry(f"d{i:02d}", seed=i))
+        cache.compact()
+        return cache
+
+    def test_truncated_data_file_is_miss_never_crash(self, tmp_path):
+        self._compacted(tmp_path)
+        data = tmp_path / COMPACT_DATA_FILE
+        raw = data.read_bytes()
+        data.write_bytes(raw[: len(raw) // 2])  # torn mid-entry
+        fresh = ResultCache(disk_dir=tmp_path)
+        served = sum(fresh.get(f"d{i:02d}") is not None for i in range(4))
+        # Entries before the tear may still be served; the rest are clean
+        # misses. Nothing raises, nothing returns a wrong entry.
+        assert 0 <= served < 4
+        for i in range(4):
+            got = fresh.get(f"d{i:02d}")
+            if got is not None:
+                assert got.digest == f"d{i:02d}"
+
+    def test_garbage_data_file_is_all_misses(self, tmp_path):
+        self._compacted(tmp_path)
+        (tmp_path / COMPACT_DATA_FILE).write_bytes(b"\x00\xff" * 128)
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert all(fresh.get(f"d{i:02d}") is None for i in range(4))
+
+    def test_bad_index_offsets_are_misses(self, tmp_path):
+        self._compacted(tmp_path)
+        index_path = tmp_path / COMPACT_INDEX_FILE
+        payload = json.loads(index_path.read_text())
+        payload["entries"] = {
+            digest: [offset + 7, length]
+            for digest, (offset, length) in payload["entries"].items()
+        }
+        index_path.write_text(json.dumps(payload))
+        fresh = ResultCache(disk_dir=tmp_path)
+        # Shifted reads either fail to parse or parse onto the wrong
+        # digest; both degrade to a miss.
+        assert all(fresh.get(f"d{i:02d}") is None for i in range(4))
+
+    def test_truncated_store_can_be_rebuilt(self, tmp_path):
+        cache = self._compacted(tmp_path)
+        (tmp_path / COMPACT_DATA_FILE).write_bytes(b"")
+        # Re-populating and recompacting recovers a healthy store.
+        cache2 = ResultCache(disk_dir=tmp_path)
+        for i in range(4):
+            cache2.put(make_entry(f"d{i:02d}", seed=i))
+        cache2.compact()
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert all(fresh.get(f"d{i:02d}") is not None for i in range(4))
+        assert cache is not None  # first handle unaffected by the rebuild
+
+
+# ---------------------------------------------------------------------------
+# Threshold-triggered compaction
+# ---------------------------------------------------------------------------
+class TestThresholdCompaction:
+    def test_fires_every_n_loose_writes(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path, compact_every=3)
+        for i in range(2):
+            cache.put(make_entry(f"a{i}", seed=i))
+        assert cache.metrics.count("compactions") == 0
+        cache.put(make_entry("a2", seed=2))  # third loose write: fires
+        assert cache.metrics.count("compactions") == 1
+        assert not list(tmp_path.glob("a*.json"))
+        for i in range(3):  # counter restarts after compaction
+            cache.put(make_entry(f"b{i}", seed=i))
+        assert cache.metrics.count("compactions") == 2
+        assert ResultCache(disk_dir=tmp_path).disk_entries() == 6
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="compact_every"):
+            ResultCache(disk_dir=tmp_path, compact_every=0)
+
+    def test_memory_only_cache_ignores_threshold(self):
+        cache = ResultCache(compact_every=2)  # no disk tier: nothing to do
+        for i in range(5):
+            cache.put(make_entry(f"m{i}", seed=i))
+        assert cache.metrics.count("compactions") == 0
+
+    def test_service_threshold_compaction_end_to_end(self, tmp_path):
+        service = MaxCutService(seed=0, disk_dir=tmp_path, compact_every=2)
+        for i in range(3):
+            graph = erdos_renyi(9, 0.4, weighted=True, rng=200 + i)
+            service.solve(graph, seed=1, **OPTIONS)
+        assert service.metrics.count("compactions") >= 1
+        assert (tmp_path / COMPACT_DATA_FILE).exists()
+        # Every solve remains reachable from a cold cache.
+        assert ResultCache(disk_dir=tmp_path).disk_entries() == 3
+
+    def test_concurrent_puts_gets_and_compactions(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path, compact_every=4)
+        errors = []
+
+        def writer(tag):
+            try:
+                for i in range(20):
+                    cache.put(make_entry(f"{tag}{i:02d}", seed=i))
+                    cache.get(f"{tag}{(i // 2):02d}")
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        def compactor():
+            try:
+                for _ in range(5):
+                    cache.compact()
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=("x",)),
+            threading.Thread(target=writer, args=("y",)),
+            threading.Thread(target=compactor),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.disk_entries() == 40
+        for tag in ("x", "y"):
+            for i in range(20):
+                assert fresh.get(f"{tag}{i:02d}") is not None
+
+
+# ---------------------------------------------------------------------------
+# Executor crashes and per-request error capture
+# ---------------------------------------------------------------------------
+class TestExecutorFaults:
+    def test_broken_pool_retried_serially_bit_identical(self, monkeypatch, tmp_path):
+        graph = erdos_renyi(10, 0.4, weighted=True, rng=3)
+        ref = MaxCutService(seed=0).solve(graph, seed=2, **OPTIONS)
+
+        import repro.service.scheduler as sched
+
+        real_map_jobs = sched.map_jobs
+        calls = {"n": 0}
+
+        def dying_map_jobs(fn, payloads, config=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BrokenProcessPool("worker killed mid-solve")
+            return real_map_jobs(fn, payloads, config=config)
+
+        monkeypatch.setattr(sched, "map_jobs", dying_map_jobs)
+        service = MaxCutService(seed=0, lockstep=False)
+        result = service.solve(graph, seed=2, **OPTIONS)
+        assert service.metrics.count("executor_retries") == 1
+        assert result.cut == ref.cut
+        assert np.array_equal(result.assignment, ref.assignment)
+
+    def test_error_mode_raise_propagates(self):
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=1)
+        service = MaxCutService(seed=0, error_mode="raise")
+        with pytest.raises(Exception):
+            service.solve(graph, method="no-such-method")
+
+    def test_error_mode_capture_isolates_and_never_caches(self):
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=1)
+        service = MaxCutService(seed=0, error_mode="capture")
+        bad = service.solve(graph, method="no-such-method")
+        assert bad.failed and bad.status == "error"
+        assert np.isnan(bad.cut)
+        assert "error" in bad.extra
+        assert service.metrics.count("errors") == 1
+        # Errors are never admitted to the cache: resubmission re-fails
+        # as a fresh miss rather than serving a cached failure.
+        again = service.solve(graph, method="no-such-method")
+        assert again.failed
+        assert service.metrics.count("misses") == 2
+        # And a good request on the same service still works.
+        good = service.solve(graph, seed=1, **OPTIONS)
+        assert not good.failed
+
+    def test_error_mode_validation(self):
+        with pytest.raises(ValueError, match="error_mode"):
+            MaxCutService(seed=0, error_mode="ignore")
+
+    def test_batch_mates_survive_one_bad_request(self):
+        graphs = [erdos_renyi(9, 0.4, weighted=True, rng=300 + i) for i in range(3)]
+        service = MaxCutService(seed=0, error_mode="capture")
+        from repro.service import SolveRequest
+
+        requests = [
+            SolveRequest(graph=graphs[0], seed=1, options=dict(OPTIONS)),
+            SolveRequest(graph=graphs[1], seed=1, method="no-such-method"),
+            SolveRequest(graph=graphs[2], seed=1, options=dict(OPTIONS)),
+        ]
+        results = service.solve_many(requests)
+        assert [r.failed for r in results] == [False, True, False]
+        ref = MaxCutService(seed=0).solve(graphs[0], seed=1, **OPTIONS)
+        assert results[0].cut == ref.cut
+
+    def test_server_survives_whole_batch_failure(self):
+        # A crash *below* the per-request capture layer fails those
+        # futures with RequestError but leaves the worker serving.
+        class ExplodingOnceService(MaxCutService):
+            def __init__(self, **kwargs):
+                super().__init__(**kwargs)
+                self.exploded = False
+
+            def solve_many(self, requests):
+                if not self.exploded:
+                    self.exploded = True
+                    raise RuntimeError("solver heap corrupted")
+                return super().solve_many(requests)
+
+        import asyncio
+
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=7)
+
+        async def main():
+            server = AsyncMaxCutServer(
+                service_factory=lambda k: ExplodingOnceService(seed=0)
+            )
+            async with server:
+                with pytest.raises(RequestError, match="heap corrupted"):
+                    await server.solve(graph, seed=1, **OPTIONS)
+                return await server.solve(graph, seed=1, **OPTIONS)
+
+        result = asyncio.run(main())
+        assert not result.failed
+
+    def test_cache_cost_floor_skips_cheap_solves(self):
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=2)
+        service = MaxCutService(seed=0, cache_cost_floor=1e9)
+        service.solve(graph, seed=1, **OPTIONS)
+        second = service.solve(graph, seed=1, **OPTIONS)
+        # Nothing met the (absurd) floor, so the repeat is a fresh miss.
+        assert second.status == "solved"
+        assert service.metrics.count("misses") == 2
+        assert service.metrics.count("cache_skipped") >= 1
+        assert len(service.cache) == 0
+
+    def test_cache_cost_floor_auto_admits_real_solves(self):
+        graph = erdos_renyi(10, 0.4, weighted=True, rng=2)
+        service = MaxCutService(seed=0, cache_cost_floor="auto")
+        service.solve(graph, seed=1, **OPTIONS)
+        second = service.solve(graph, seed=1, **OPTIONS)
+        # A real QAOA solve costs orders of magnitude more than a
+        # fingerprint+store, so auto mode admits it.
+        assert second.status == "hit-memory"
+
+    def test_cache_cost_floor_validation(self):
+        with pytest.raises(ValueError, match="cache_cost_floor"):
+            MaxCutService(seed=0, cache_cost_floor="always")
