@@ -44,5 +44,5 @@ def test_synthesis_preferences_ablation(once):
         ),
     )
     # Depth optimization must never hurt and should help on dense graphs.
-    assert all(o <= n for o, n in zip(rows["opt_depth"], rows["naive_depth"]))
+    assert all(o <= n for o, n in zip(rows["opt_depth"], rows["naive_depth"], strict=True))
     assert rows["reduction_%"][-1] > 0

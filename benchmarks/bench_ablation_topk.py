@@ -58,7 +58,7 @@ def test_topk_selection_ablation(once):
             title="A1: mean cut / exact optimum by amplitude-selection width",
         ),
     )
-    for regime, values in table.items():
+    for _regime, values in table.items():
         # Wider selection can only help on the same final state.
         assert values[-1] >= values[0] - 1e-9
     # The weak regime must show a strict improvement from wider readout.

@@ -53,7 +53,7 @@ def test_distributed_comm_scaling(once):
         ),
     )
     # Cache blocking (remap) never moves more data than direct exchange.
-    for remap, direct in zip(rows["remap_MB"], rows["direct_MB"]):
+    for remap, direct in zip(rows["remap_MB"], rows["direct_MB"], strict=True):
         assert remap <= direct + 1e-9
 
 
@@ -76,4 +76,4 @@ def test_machine_model_33_qubit_extrapolation(once):
     assert 0.5 <= estimates[512] / 60 <= 100.0
     # Strong scaling: more ranks, less time.
     times = list(estimates.values())
-    assert all(a > b for a, b in zip(times, times[1:]))
+    assert all(a > b for a, b in zip(times, times[1:], strict=False))

@@ -113,7 +113,7 @@ def quick_report() -> dict:
 
     # Per-round correlation sweep, isolated on round-1 state/params.
     params = np.full(2 * LAYERS, 0.3)
-    pairs = list(zip(graph.u.tolist(), graph.v.tolist()))
+    pairs = list(zip(graph.u.tolist(), graph.v.tolist(), strict=True))
     sweep_point_s = _best_of(
         lambda: _zz_correlations_pointwise(
             MaxCutEnergy(graph).statevector(params), pairs

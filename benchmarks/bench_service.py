@@ -128,7 +128,7 @@ def test_async_stream(benchmark, requests):
 def test_service_cuts_identical(requests):
     direct = _solve_uncached(requests)
     _service, served = _serve_stream(requests)
-    for ref, res in zip(direct, served):
+    for ref, res in zip(direct, served, strict=True):
         assert res.cut == ref["cut"]
         assert np.array_equal(res.assignment, ref["assignment"])
 
@@ -136,7 +136,7 @@ def test_service_cuts_identical(requests):
 def test_async_cuts_identical(requests):
     direct = _solve_uncached(requests)
     _server, served = _serve_stream_async(requests)
-    for ref, res in zip(direct, served):
+    for ref, res in zip(direct, served, strict=True):
         assert res.cut == ref["cut"]
         assert np.array_equal(res.assignment, ref["assignment"])
 
@@ -161,11 +161,11 @@ def quick_report() -> dict:
 
     cuts_identical = all(
         res.cut == ref["cut"] and np.array_equal(res.assignment, ref["assignment"])
-        for ref, res in zip(direct, served)
+        for ref, res in zip(direct, served, strict=True)
     )
     async_cuts_identical = all(
         res.cut == ref["cut"] and np.array_equal(res.assignment, ref["assignment"])
-        for ref, res in zip(direct, served_async)
+        for ref, res in zip(direct, served_async, strict=True)
     )
     metrics = service.metrics
     async_metrics = server.merged_metrics()

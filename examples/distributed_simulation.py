@@ -39,8 +39,10 @@ def main() -> None:
         for strategy in ("remap", "direct"):
             dist = DistributedStatevector(n_qubits, ranks, strategy=strategy)
             dist.set_plus_state()
-            for gamma, beta in zip(gammas, betas):
-                dist.apply_diagonal_fn(lambda idx: np.exp(-1j * gamma * diag[idx]))
+            for gamma, beta in zip(gammas, betas, strict=True):
+                dist.apply_diagonal_fn(
+                    lambda idx, g=gamma: np.exp(-1j * g * diag[idx])
+                )
                 dist.apply_rx_layer(beta)
             err = np.abs(dist.gather() - reference).max()
             print(

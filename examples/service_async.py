@@ -53,7 +53,7 @@ async def demo() -> None:
         identical = all(
             got.cut == want.cut
             and np.array_equal(got.assignment, want.assignment)
-            for got, want in zip(results, reference)
+            for got, want in zip(results, reference, strict=True)
         )
         merged = server.merged_metrics()
         print(f"async server (6 clients, 2 shards): {async_s:6.2f}s  "

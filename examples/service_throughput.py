@@ -54,7 +54,7 @@ def main() -> None:
         served.extend(service.solve_many(requests[i : i + 8]))
     service_s = time.perf_counter() - start
     identical = all(
-        res.cut == ref["cut"] for ref, res in zip(direct, served)
+        res.cut == ref["cut"] for ref, res in zip(direct, served, strict=True)
     )
     print(f"service (cache + coalescing):     {service_s:6.2f}s  "
           f"→ {uncached_s / service_s:.1f}x, cuts identical: {identical}\n")

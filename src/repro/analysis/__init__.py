@@ -1,0 +1,38 @@
+"""Project-invariant static analyzer (``python -m repro.analysis``).
+
+The serving/numerics stack guards several correctness properties that no
+unit test can see directly — the backend import seam, the layering of
+core numerics below service/hpc, the await-free coalescing section, RNG
+and lock discipline.  This package machine-checks them as AST rules with
+per-line/per-file suppressions; see ``src/repro/analysis/README.md`` for
+the rule catalogue and the CI wiring.
+"""
+
+from repro.analysis.core import (
+    AnalysisContext,
+    AnalysisReport,
+    Directive,
+    Finding,
+    RULE_REGISTRY,
+    Rule,
+    SourceFile,
+    all_rule_names,
+    analyze_paths,
+    register_rule,
+)
+from repro.analysis.imports import ImportEdge, ImportGraph
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Directive",
+    "Finding",
+    "ImportEdge",
+    "ImportGraph",
+    "RULE_REGISTRY",
+    "Rule",
+    "SourceFile",
+    "all_rule_names",
+    "analyze_paths",
+    "register_rule",
+]

@@ -1,0 +1,213 @@
+"""CLI for the project-invariant analyzer.
+
+Usage::
+
+    python -m repro.analysis [paths...] [--format text|json]
+                             [--rules a,b] [--list-rules] [--quick]
+
+Exit codes: 0 clean, 1 findings (or a --quick self-check mismatch),
+2 usage / unreadable input.
+
+``--quick`` runs the fixture-corpus self-check instead of an analysis:
+every file under ``tests/analysis_fixtures/`` is analyzed and its
+findings are compared against the ``# expect: rule-a,rule-b`` markers on
+the violating lines (clean fixtures carry no markers and must produce no
+findings).  CI runs this in the fast job so a rule regression surfaces
+in seconds, without waiting for the full static-analysis job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import re
+import sys
+import tokenize
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.core import RULE_REGISTRY, all_rule_names, analyze_paths
+
+#: Default analysis target: the package tree this module lives in.
+DEFAULT_TARGET = Path(__file__).resolve().parents[1]
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+def fixture_corpus_dir() -> Path:
+    return _repo_root() / "tests" / "analysis_fixtures"
+
+
+# ----------------------------------------------------------------------
+EXPECT_RE = re.compile(r"^#\s*expect:\s*(?P<rules>.*)$")
+
+
+def expected_findings(path: Path) -> Set[Tuple[int, str]]:
+    """``(line, rule)`` pairs declared by ``# expect:`` fixture markers.
+
+    A trailing marker expects the finding on its own line; a standalone
+    comment line expects it on the next line.
+    """
+    expected: Set[Tuple[int, str]] = set()
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = EXPECT_RE.match(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        if lines[line - 1].strip().startswith("#"):
+            line += 1
+        for rule in match.group("rules").split(","):
+            rule = rule.strip()
+            if rule:
+                expected.add((line, rule))
+    return expected
+
+
+def run_quick(corpus: Path) -> int:
+    """Self-check the rule set against the fixture corpus."""
+    if not corpus.is_dir():
+        print(f"fixture corpus not found: {corpus}", file=sys.stderr)
+        return 2
+    # Multi-file scenarios (transitive layering, cycles) live in
+    # subdirectories marked by a `corpus.json` manifest listing the
+    # expectations for the whole group; their files are excluded from the
+    # one-file-at-a-time pass.
+    manifests = sorted(corpus.rglob("corpus.json"))
+    group_dirs = {manifest.parent for manifest in manifests}
+    files = [
+        path
+        for path in sorted(corpus.rglob("*.py"))
+        if path.parent not in group_dirs
+    ]
+    if not files and not manifests:
+        print(f"fixture corpus is empty: {corpus}", file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    checked = 0
+    for path in files:
+        report = analyze_paths([path])
+        got = {(f.line, f.rule) for f in report.findings}
+        want = expected_findings(path)
+        checked += 1
+        for line, rule in sorted(want - got):
+            failures.append(f"{path}:{line}: expected [{rule}] but rule was silent")
+        for line, rule in sorted(got - want):
+            failures.append(f"{path}:{line}: unexpected [{rule}] finding")
+    for manifest in manifests:
+        group_dir = manifest.parent
+        spec = json.loads(manifest.read_text())
+        report = analyze_paths([group_dir])
+        got = {(Path(f.path).name, f.line, f.rule) for f in report.findings}
+        want = {
+            (entry["file"], int(entry["line"]), entry["rule"])
+            for entry in spec.get("expect", [])
+        }
+        checked += 1
+        for name, line, rule in sorted(want - got):
+            failures.append(
+                f"{group_dir / name}:{line}: expected [{rule}] (group check)"
+            )
+        for name, line, rule in sorted(got - want):
+            failures.append(
+                f"{group_dir / name}:{line}: unexpected [{rule}] (group check)"
+            )
+    if failures:
+        print(f"self-check FAILED ({len(failures)} mismatches):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"self-check ok: {checked} fixture checks, all rules behave as expected")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/directories to analyze (default: {DEFAULT_TARGET})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="self-check the rules against tests/analysis_fixtures/ and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        names = all_rule_names()
+        width = max(len(name) for name in names)
+        for name in names:
+            rule = RULE_REGISTRY[name]
+            print(f"{name:<{width}}  {rule.description}")
+            print(f"{'':<{width}}  invariant: {rule.invariant}")
+        return 0
+
+    if args.quick:
+        return run_quick(fixture_corpus_dir())
+
+    paths = [Path(p) for p in args.paths] if args.paths else [DEFAULT_TARGET]
+    for path in paths:
+        if not path.exists():
+            print(f"no such path: {path}", file=sys.stderr)
+            return 2
+    rules = (
+        [name.strip() for name in args.rules.split(",") if name.strip()]
+        if args.rules
+        else None
+    )
+    try:
+        report = analyze_paths(paths, rules=rules)
+    except (RuntimeError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload: Dict[str, object] = {
+            "version": 1,
+            "files": len(report.files),
+            "findings": [finding.to_json() for finding in report.findings],
+            "suppressed": len(report.suppressed),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format())
+        summary = (
+            f"{len(report.findings)} finding(s) in {len(report.files)} file(s)"
+            f" ({len(report.suppressed)} suppressed)"
+        )
+        print(summary)
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

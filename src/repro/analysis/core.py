@@ -1,0 +1,411 @@
+"""Framework for the project-invariant static analyzer.
+
+This module owns the pieces every rule shares:
+
+* :class:`Finding` — one reported violation (rule, file, line, message).
+* :class:`Directive` — one parsed ``# repro: ...`` comment.  Directives are
+  extracted with :mod:`tokenize`, so strings that merely *contain* the
+  marker text are never misparsed as directives.
+* :class:`SourceFile` — a parsed module (text, AST, dotted module name,
+  directives, suppressions).
+* :class:`Rule` + :func:`register_rule` — the plugin registry.  A rule
+  implements ``check(file, ctx)`` for per-file findings and may implement
+  ``check_project(ctx)`` for whole-graph findings (layering cycles).
+* :func:`analyze_paths` — the driver: collect files, build the import
+  graph, run every rule, apply suppressions.
+
+Suppression grammar (checked by the ``suppression-hygiene`` meta-rule):
+
+* ``# repro: disable=rule-a,rule-b -- why this is safe`` — suppress on
+  this line (or, when the comment stands alone, on the next line).
+* ``# repro: disable-file=rule-a -- why`` — suppress for the whole file.
+
+Every suppression must carry a one-line justification after ``--``;
+suppressions without one are themselves findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+# Anchored at the start of the comment: a comment that merely *mentions*
+# "# repro: ..." in prose (docs, the analyzer's own source) is not a
+# directive.
+DIRECTIVE_RE = re.compile(r"^#\s*repro:\s*(?P<body>.*)$")
+JUSTIFICATION_SEP = "--"
+
+#: Directive verbs the parser understands.  ``expect`` is reserved for the
+#: fixture corpus (see :mod:`repro.analysis.__main__` --quick).
+DIRECTIVE_VERBS = (
+    "disable",
+    "disable-file",
+    "module",
+    "begin-atomic",
+    "end-atomic",
+    "guarded-by",
+    "holds-lock",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    module: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "module": self.module,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Directive:
+    """One parsed ``# repro: <verb>[=value] [-- justification]`` comment."""
+
+    verb: str
+    value: str
+    justification: Optional[str]
+    line: int
+    standalone: bool  # the comment is the only thing on its line
+
+    @property
+    def names(self) -> List[str]:
+        """Comma-separated value list (rule names, attribute names)."""
+        return [part.strip() for part in self.value.split(",") if part.strip()]
+
+
+def parse_directives(text: str) -> Tuple[List[Directive], List[str]]:
+    """Extract ``# repro:`` directives from real comment tokens.
+
+    Returns ``(directives, errors)`` where errors are human-readable
+    strings for malformed directives (reported by suppression-hygiene).
+    """
+    directives: List[Directive] = []
+    errors: List[str] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return directives, errors  # the AST parse reports the real problem
+    lines = text.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = DIRECTIVE_RE.match(tok.string)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        justification: Optional[str] = None
+        if JUSTIFICATION_SEP in body:
+            body, _, tail = body.partition(JUSTIFICATION_SEP)
+            body = body.strip()
+            justification = tail.strip() or None
+        if "=" in body:
+            verb, _, value = body.partition("=")
+            verb, value = verb.strip(), value.strip()
+        else:
+            parts = body.split(None, 1)
+            verb = parts[0] if parts else ""
+            value = parts[1].strip() if len(parts) > 1 else ""
+        line_no = tok.start[0]
+        source_line = lines[line_no - 1] if line_no <= len(lines) else ""
+        standalone = source_line.strip().startswith("#")
+        if verb not in DIRECTIVE_VERBS and verb != "expect":
+            errors.append(
+                f"line {line_no}: unknown directive '# repro: {verb}' "
+                f"(expected one of {', '.join(DIRECTIVE_VERBS)})"
+            )
+            continue
+        directives.append(
+            Directive(
+                verb=verb,
+                value=value,
+                justification=justification,
+                line=line_no,
+                standalone=standalone,
+            )
+        )
+    return directives, errors
+
+
+@dataclass
+class SourceFile:
+    """A parsed source module, as seen by every rule."""
+
+    path: Path
+    display_path: str
+    text: str
+    tree: ast.Module
+    module: str
+    directives: List[Directive] = field(default_factory=list)
+    directive_errors: List[str] = field(default_factory=list)
+    #: line -> rule names suppressed on that line
+    line_suppressions: Dict[int, set] = field(default_factory=dict)
+    #: rule names suppressed for the whole file
+    file_suppressions: set = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, *, display_path: Optional[str] = None) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        directives, errors = parse_directives(text)
+        module = _module_name(path)
+        for directive in directives:
+            if directive.verb == "module" and directive.value:
+                module = directive.value
+        line_suppressions: Dict[int, set] = {}
+        file_suppressions: set = set()
+        for directive in directives:
+            if directive.verb == "disable":
+                target = directive.line + 1 if directive.standalone else directive.line
+                line_suppressions.setdefault(target, set()).update(directive.names)
+            elif directive.verb == "disable-file":
+                file_suppressions.update(directive.names)
+        return cls(
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+            text=text,
+            tree=tree,
+            module=module,
+            directives=directives,
+            directive_errors=errors,
+            line_suppressions=line_suppressions,
+            file_suppressions=file_suppressions,
+        )
+
+    # ------------------------------------------------------------------
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_suppressions:
+            return True
+        return rule in self.line_suppressions.get(line, set())
+
+    def directives_named(self, verb: str) -> List[Directive]:
+        return [d for d in self.directives if d.verb == verb]
+
+    def atomic_ranges(self) -> Tuple[List[Tuple[int, int]], List[str]]:
+        """``begin-atomic``/``end-atomic`` line ranges + balance errors."""
+        ranges: List[Tuple[int, int]] = []
+        errors: List[str] = []
+        open_line: Optional[int] = None
+        for directive in self.directives:
+            if directive.verb == "begin-atomic":
+                if open_line is not None:
+                    errors.append(
+                        f"line {directive.line}: begin-atomic while the section "
+                        f"opened at line {open_line} is still open"
+                    )
+                open_line = directive.line
+            elif directive.verb == "end-atomic":
+                if open_line is None:
+                    errors.append(
+                        f"line {directive.line}: end-atomic without begin-atomic"
+                    )
+                else:
+                    ranges.append((open_line, directive.line))
+                    open_line = None
+        if open_line is not None:
+            errors.append(f"line {open_line}: begin-atomic is never closed")
+        return ranges, errors
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.display_path,
+            line=line,
+            message=message,
+            module=self.module,
+        )
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name from the package layout around ``path``.
+
+    Walks up while ``__init__.py`` siblings exist, so
+    ``src/repro/service/cache.py`` resolves to ``repro.service.cache``
+    regardless of the working directory.  Files outside any package (the
+    fixture corpus) fall back to their stem; fixtures set their pretend
+    module with ``# repro: module=...``.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    current = resolved.parent
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class for analyzer rules (register with :func:`register_rule`).
+
+    Subclasses set ``name`` (kebab-case, used in suppressions),
+    ``description`` (one line, shown by ``--list-rules`` and the README)
+    and ``invariant`` (which PR/convention the rule encodes).
+    """
+
+    name: str = ""
+    description: str = ""
+    invariant: str = ""
+
+    def check(self, file: SourceFile, ctx: "AnalysisContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, ctx: "AnalysisContext") -> Iterator[Finding]:
+        return iter(())
+
+
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator: instantiate and add to the global registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULE_REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rule_names() -> List[str]:
+    _ensure_rules_loaded()
+    return sorted(RULE_REGISTRY)
+
+
+def _ensure_rules_loaded() -> None:
+    # Deferred so `import repro.analysis.core` never cycles with rules.py.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may consult besides the file under check."""
+
+    files: List[SourceFile]
+    graph: "ImportGraph"
+
+    def file_for_module(self, module: str) -> Optional[SourceFile]:
+        for file in self.files:
+            if file.module == module:
+                return file
+        return None
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisReport:
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files: List[SourceFile]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    out: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run the (selected) rules over every ``.py`` file under ``paths``."""
+    from repro.analysis.imports import ImportGraph
+
+    _ensure_rules_loaded()
+    files: List[SourceFile] = []
+    for path in collect_files(paths):
+        try:
+            files.append(SourceFile.parse(path))
+        except SyntaxError as exc:
+            raise RuntimeError(f"cannot parse {path}: {exc}") from exc
+    graph = ImportGraph.from_files(files)
+    ctx = AnalysisContext(files=files, graph=graph)
+    if rules is None:
+        active = [RULE_REGISTRY[name] for name in sorted(RULE_REGISTRY)]
+    else:
+        unknown = sorted(set(rules) - set(RULE_REGISTRY))
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULE_REGISTRY))}"
+            )
+        active = [RULE_REGISTRY[name] for name in sorted(set(rules))]
+
+    raw: List[Finding] = []
+    for file in files:
+        for rule in active:
+            raw.extend(rule.check(file, ctx))
+    for rule in active:
+        raw.extend(rule.check_project(ctx))
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    by_path = {file.display_path: file for file in files}
+    for finding in raw:
+        file = by_path.get(finding.path)
+        if file is not None and file.suppressed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return AnalysisReport(findings=findings, suppressed=suppressed, files=files)
+
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Directive",
+    "Finding",
+    "RULE_REGISTRY",
+    "Rule",
+    "SourceFile",
+    "all_rule_names",
+    "analyze_paths",
+    "collect_files",
+    "parse_directives",
+    "register_rule",
+]

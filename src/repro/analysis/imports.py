@@ -1,0 +1,229 @@
+"""Import-graph builder over a set of parsed source files.
+
+Edges are collected from ``import``/``from ... import`` statements
+anywhere in a module's AST.  Each edge records the source line and
+whether the import is *top-level* (module scope) or *deferred* (inside a
+function/method — the standard way to break a runtime cycle).
+
+Rules consume the graph two ways:
+
+* **Layering** uses *all* edges: a deferred import still ships the
+  dependency, so ``repro.graphs`` lazily importing ``repro.service``
+  would be just as much a layering break as a top-level import.
+* **Cycle detection** uses only *top-level* edges: those are the ones
+  Python actually executes during module initialisation, so a top-level
+  strongly-connected component is a real import-time hazard while a
+  deferred back-edge (e.g. ``qaoa2.solver`` lazily importing
+  ``repro.service``) is the sanctioned fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import SourceFile
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One ``src -> dst`` import at a specific line."""
+
+    src: str
+    dst: str
+    line: int
+    top_level: bool
+
+
+@dataclass
+class ImportGraph:
+    """Adjacency over dotted module names (project modules only)."""
+
+    modules: set = field(default_factory=set)
+    edges: Dict[str, List[ImportEdge]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_files(cls, files: Sequence[SourceFile]) -> "ImportGraph":
+        graph = cls(modules={file.module for file in files})
+        for file in files:
+            for edge in _collect_edges(file, graph.modules):
+                graph.edges.setdefault(edge.src, []).append(edge)
+        return graph
+
+    def out_edges(self, module: str) -> List[ImportEdge]:
+        return self.edges.get(module, [])
+
+    # ------------------------------------------------------------------
+    def reachable(
+        self, start: str, *, top_level_only: bool = False
+    ) -> Dict[str, Optional[str]]:
+        """BFS predecessor map: every module reachable from ``start``.
+
+        ``result[m]`` is the module that first led to ``m`` (``None`` for
+        ``start`` itself), so callers can reconstruct an import chain.
+        """
+        seen: Dict[str, Optional[str]] = {start: None}
+        queue = [start]
+        while queue:
+            current = queue.pop(0)
+            for edge in self.out_edges(current):
+                if top_level_only and not edge.top_level:
+                    continue
+                if edge.dst not in seen:
+                    seen[edge.dst] = current
+                    queue.append(edge.dst)
+        return seen
+
+    def chain(self, start: str, target: str, **kwargs) -> Optional[List[str]]:
+        """Shortest import chain ``start -> ... -> target`` (or None)."""
+        preds = self.reachable(start, **kwargs)
+        if target not in preds:
+            return None
+        path = [target]
+        while path[-1] != start:
+            prev = preds[path[-1]]
+            assert prev is not None
+            path.append(prev)
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------
+    def cycles(self) -> List[List[str]]:
+        """Strongly-connected components of size >= 2 over top-level edges.
+
+        Only modules in the analyzed set participate (an external module
+        cannot complete a cycle we could observe anyway).  Components are
+        returned sorted, each cycle's members sorted, for stable output.
+        """
+        adjacency: Dict[str, List[str]] = {m: [] for m in self.modules}
+        for src, edges in self.edges.items():
+            if src not in adjacency:
+                continue
+            for edge in edges:
+                if edge.top_level and edge.dst in adjacency:
+                    adjacency[src].append(edge.dst)
+        # Iterative Tarjan SCC.
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: set = set()
+        stack: List[str] = []
+        counter = [0]
+        components: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, edge_index = work[-1]
+                if edge_index == 0:
+                    index[node] = lowlink[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                advanced = False
+                targets = adjacency[node]
+                while edge_index < len(targets):
+                    dst = targets[edge_index]
+                    edge_index += 1
+                    if dst not in index:
+                        work[-1] = (node, edge_index)
+                        work.append((dst, 0))
+                        advanced = True
+                        break
+                    if dst in on_stack:
+                        lowlink[node] = min(lowlink[node], index[dst])
+                if advanced:
+                    continue
+                work.pop()
+                if lowlink[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+        for module in sorted(adjacency):
+            if module not in index:
+                strongconnect(module)
+        return sorted(components)
+
+
+# ----------------------------------------------------------------------
+def _collect_edges(file: SourceFile, known_modules: set) -> Iterable[ImportEdge]:
+    """AST walk yielding project-internal import edges for one file."""
+    root_prefixes = {module.split(".")[0] for module in known_modules}
+
+    class Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+            self.edges: List[ImportEdge] = []
+
+        # Function bodies = deferred imports.
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def _emit(self, target: str, line: int) -> None:
+            if target.split(".")[0] not in root_prefixes:
+                return
+            if target == file.module:
+                return
+            self.edges.append(
+                ImportEdge(
+                    src=file.module,
+                    dst=target,
+                    line=line,
+                    top_level=self.depth == 0,
+                )
+            )
+
+        def visit_Import(self, node: ast.Import) -> None:
+            for alias in node.names:
+                self._emit(alias.name, node.lineno)
+
+        def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+            base = _resolve_from(node, file.module)
+            if base is None:
+                return
+            for alias in node.names:
+                candidate = f"{base}.{alias.name}"
+                # `from repro.quantum import backend` names the submodule
+                # when one exists; otherwise the edge targets the package.
+                if candidate in known_modules:
+                    self._emit(candidate, node.lineno)
+                else:
+                    self._emit(base, node.lineno)
+
+    visitor = Visitor()
+    visitor.visit(file.tree)
+    return visitor.edges
+
+
+def _resolve_from(node: ast.ImportFrom, module: str) -> Optional[str]:
+    """Absolute dotted base of a ``from``-import (handles relative dots)."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    # Relative level 1 from a module inside package P resolves against P.
+    if len(parts) < node.level:
+        return None
+    base_parts = parts[: len(parts) - node.level]
+    if node.module:
+        base_parts.append(node.module)
+    return ".".join(base_parts) if base_parts else None
+
+
+__all__ = ["ImportEdge", "ImportGraph"]

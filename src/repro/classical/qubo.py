@@ -52,7 +52,7 @@ class QUBO:
         """MaxCut -> QUBO: maximise Σ w (x_i + x_j − 2 x_i x_j) becomes
         minimise Σ w (2 x_i x_j − x_i − x_j); so ``energy(x) = −cut(x)``."""
         coeffs: Dict[Tuple[int, int], float] = {}
-        for a, b, w in zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist()):
+        for a, b, w in zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist(), strict=True):
             coeffs[(a, b)] = coeffs.get((a, b), 0.0) + 2.0 * w
             coeffs[(a, a)] = coeffs.get((a, a), 0.0) - w
             coeffs[(b, b)] = coeffs.get((b, b), 0.0) - w

@@ -46,7 +46,7 @@ def _add_instance_args(parser: argparse.ArgumentParser) -> None:
 def _backend_choices() -> tuple:
     from repro.quantum.backend import available_backends
 
-    return ("auto",) + available_backends()
+    return ("auto", *available_backends())
 
 
 def cmd_solve(args: argparse.Namespace) -> int:

@@ -46,7 +46,7 @@ def format_heat_table(
     lines.append(f"{row_header} \\ {col_header}")
     header = " " * label_width + "".join(f"{str(c):>{col_width}}" for c in col_labels)
     lines.append(header)
-    for label, row in zip(row_labels, cells):
+    for label, row in zip(row_labels, cells, strict=True):
         lines.append(
             f"{str(label):<{label_width}}" + "".join(f"{c:>{col_width}}" for c in row)
         )

@@ -105,7 +105,7 @@ class ScalingResult:
         base = self.cuts["QAOA"]
         for name, values in self.cuts.items():
             rel: List[Optional[float]] = []
-            for value, q in zip(values, base):
+            for value, q in zip(values, base, strict=True):
                 rel.append(None if (value is None or not q) else value / q)
             out[name] = rel
         return out

@@ -119,7 +119,7 @@ def random_regular(n: int, d: int, *, rng: RngLike = None) -> Graph:
         bad = uu == vv
         pairs = set()
         ok = True
-        for x, y in zip(uu, vv):
+        for x, y in zip(uu, vv, strict=True):
             if x == y:
                 ok = False
                 break

@@ -124,7 +124,7 @@ class Graph:
         """Convert to a networkx graph with ``weight`` edge attributes."""
         g = nx.Graph()
         g.add_nodes_from(range(self.n_nodes))
-        for a, b, weight in zip(self.u, self.v, self.w):
+        for a, b, weight in zip(self.u, self.v, self.w, strict=True):
             g.add_edge(int(a), int(b), weight=float(weight))
         return g
 
@@ -163,7 +163,7 @@ class Graph:
     def edge_index(self) -> Dict[Tuple[int, int], int]:
         """Map from canonical ``(u, v)`` pair to edge position."""
         return {
-            (int(a), int(b)): k for k, (a, b) in enumerate(zip(self.u, self.v))
+            (int(a), int(b)): k for k, (a, b) in enumerate(zip(self.u, self.v, strict=True))
         }
 
     # ------------------------------------------------------------------

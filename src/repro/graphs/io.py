@@ -24,7 +24,7 @@ def write_edgelist(graph: Graph, path: PathLike, *, header: bool = True) -> None
     lines = []
     if header:
         lines.append(f"{graph.n_nodes} {graph.n_edges}")
-    for a, b, w in zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist()):
+    for a, b, w in zip(graph.u.tolist(), graph.v.tolist(), graph.w.tolist(), strict=True):
         if w == int(w):
             lines.append(f"{a + 1} {b + 1} {int(w)}")
         else:
@@ -73,7 +73,7 @@ def write_json(graph: Graph, path: PathLike, *, metadata: Optional[dict] = None)
         "n_nodes": graph.n_nodes,
         "edges": [
             [int(a), int(b), float(w)]
-            for a, b, w in zip(graph.u, graph.v, graph.w)
+            for a, b, w in zip(graph.u, graph.v, graph.w, strict=True)
         ],
         "metadata": metadata or {},
     }

@@ -81,7 +81,7 @@ def cut_diagonal(graph: Graph, dtype=np.float64, chunk: int = 1 << 22) -> np.nda
         stop = min(start + chunk, size)
         idx = np.arange(start, stop, dtype=np.uint64)
         block = diag[start:stop]
-        for a, b, weight in zip(u64, v64, graph.w):
+        for a, b, weight in zip(u64, v64, graph.w, strict=True):
             differs = ((idx >> a) ^ (idx >> b)) & np.uint64(1)
             block += weight * differs
     return diag
@@ -218,7 +218,7 @@ def exact_maxcut_branch_and_bound(
     # For each node (in assignment order), edges to already-assigned nodes.
     earlier: list[list[tuple[int, float]]] = [[] for _ in range(n)]
     remaining_after = np.zeros(n + 1)
-    for a, b, weight in zip(graph.u, graph.v, graph.w):
+    for a, b, weight in zip(graph.u, graph.v, graph.w, strict=True):
         pa, pb = pos[a], pos[b]
         hi, lo = (pa, pb) if pa > pb else (pb, pa)
         earlier[hi].append((int(lo), float(weight)))

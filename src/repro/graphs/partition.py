@@ -85,7 +85,7 @@ def greedy_modularity_communities(
 
     # Community adjacency: dq[i][j] = modularity gain of merging i and j.
     dq: List[dict] = [dict() for _ in range(n)]
-    for uu, vv, ww in zip(graph.u.tolist(), graph.v.tolist(), w_eff.tolist()):
+    for uu, vv, ww in zip(graph.u.tolist(), graph.v.tolist(), w_eff.tolist(), strict=True):
         gain = 2.0 * (ww / two_m - resolution * a[uu] * a[vv])
         dq[uu][vv] = gain
         dq[vv][uu] = gain

@@ -84,7 +84,7 @@ def run_with_checkpoints(
     done = store.load()
     results: List[Optional[dict]] = [None] * len(jobs)
     n_resumed = 0
-    for idx, (job, key) in enumerate(zip(jobs, keys)):
+    for idx, (job, key) in enumerate(zip(jobs, keys, strict=True)):
         if key in done:
             results[idx] = _decode_result(done[key])
             n_resumed += 1

@@ -152,7 +152,9 @@ class Communicator:
         gathered = self.gather(obj, root=0)
         return self.bcast(gathered, root=0)
 
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+    def allreduce(
+        self, obj: Any, op: Optional[Callable[[Any, Any], Any]] = None
+    ) -> Any:
         import operator
 
         reducer = op or operator.add

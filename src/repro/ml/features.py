@@ -89,7 +89,7 @@ def extract_features(graph: Graph) -> np.ndarray:
 
 def feature_dict(graph: Graph) -> Dict[str, float]:
     """Named view of :func:`extract_features` (reports, debugging)."""
-    return dict(zip(FEATURE_NAMES, extract_features(graph)))
+    return dict(zip(FEATURE_NAMES, extract_features(graph), strict=True))
 
 
 __all__ = ["FEATURE_NAMES", "extract_features", "feature_dict"]

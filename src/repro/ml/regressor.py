@@ -66,7 +66,7 @@ class MLPRegressor:
         v = [np.zeros_like(p) for p in params]
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         step = 0
-        for epoch in range(self.n_epochs):
+        for _epoch in range(self.n_epochs):
             order = gen.permutation(n)
             epoch_loss = 0.0
             for start in range(0, n, self.batch_size):
@@ -85,7 +85,7 @@ class MLPRegressor:
                 grad_b1 = grad_hidden.sum(axis=0)
                 grads = [grad_w1, grad_b1, grad_w2, grad_b2]
                 step += 1
-                for k, (p, g) in enumerate(zip(params, grads)):
+                for k, (p, g) in enumerate(zip(params, grads, strict=True)):
                     m[k] = beta1 * m[k] + (1 - beta1) * g
                     v[k] = beta2 * v[k] + (1 - beta2) * g * g
                     m_hat = m[k] / (1 - beta1**step)

@@ -41,7 +41,7 @@ class MaxCutEnergy:
         graph: Graph,
         *,
         diagonal: Optional[np.ndarray] = None,
-        backend: object = None,
+        backend: Optional[object] = None,
     ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")

@@ -360,10 +360,10 @@ class SweepEngine:
             backend.walsh_transform(states, scratch=scratch)
             # Axis layout: axis 1 + (n-1-q) of the (m, 2, ..., 2) view is
             # qubit q (little-endian index convention).
-            view = states.reshape((m,) + (2,) * n)
+            view = states.reshape((m, *((2,) * n)))
             harmonic = np.zeros(m, dtype=np.complex128)  # P
             constant = np.zeros(m, dtype=np.float64)  # Q
-            for a, b, weight in zip(self.graph.u, self.graph.v, self.graph.w):
+            for a, b, weight in zip(self.graph.u, self.graph.v, self.graph.w, strict=True):
                 ax_a = 1 + (n - 1 - int(a))
                 ax_b = 1 + (n - 1 - int(b))
 

@@ -190,7 +190,7 @@ def rqaoa_solve(
         solver = QAOASolver(rng=gen, **options)
     active = list(range(graph.n_nodes))
     weights: Dict[Tuple[int, int], float] = {
-        (int(a), int(b)): float(w) for a, b, w in zip(graph.u, graph.v, graph.w)
+        (int(a), int(b)): float(w) for a, b, w in zip(graph.u, graph.v, graph.w, strict=True)
     }
     eliminations: List[Tuple[int, int, int]] = []
 
@@ -206,7 +206,7 @@ def rqaoa_solve(
         # deterministic regardless of dict insertion history.
         edges = [(label[a], label[b], w) for (a, b), w in sorted(weights.items())]
         current = Graph.from_edges(len(active), edges)
-        pairs = list(zip(current.u.tolist(), current.v.tolist()))
+        pairs = list(zip(current.u.tolist(), current.v.tolist(), strict=True))
         round_solver = round0_solver if first_round else solver
         first_round = False
         if batched:

@@ -301,10 +301,12 @@ class QAOASolver:
         # the best-seen iterate.
         child = gen.spawn(1)[0]
         x0s = np.stack(
-            [x0]
-            + [
-                initial_parameters(self.layers, "random", rng=child)
-                for _ in range(self.n_starts - 1)
+            [
+                x0,
+                *(
+                    initial_parameters(self.layers, "random", rng=child)
+                    for _ in range(self.n_starts - 1)
+                ),
             ]
         )
         if self.optimizer == "spsa":
@@ -339,7 +341,7 @@ class QAOASolver:
 
         results = map_jobs(
             run_restart,
-            list(zip(x0s, start_rngs)),
+            list(zip(x0s, start_rngs, strict=True)),
             config=self._starts_executor_config(),
         )
         best = None

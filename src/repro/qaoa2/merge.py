@@ -62,7 +62,7 @@ def assemble_global_assignment(
 ) -> np.ndarray:
     """Scatter per-part local assignments into one global 0/1 array."""
     x = np.zeros(n_nodes, dtype=np.uint8)
-    for part, local in zip(parts, local_assignments):
+    for part, local in zip(parts, local_assignments, strict=True):
         local = as_binary(np.asarray(local))
         if len(local) != len(part):
             raise ValueError("local assignment length mismatch with part size")
@@ -88,7 +88,7 @@ def build_merge_problem(
     is_cut = x[cu] != x[cv]
     baseline_cross = float(cw[is_cut].sum())
     signed = np.where(is_cut, -cw, cw)
-    merged_edges = list(zip(cpu.tolist(), cpv.tolist(), signed.tolist()))
+    merged_edges = list(zip(cpu.tolist(), cpv.tolist(), signed.tolist(), strict=True))
     merged_graph = Graph.from_edges(n_parts, merged_edges, sum_duplicates=True)
     # Intra cut = total cut − cross cut of the current assignment.
     total = cut_value(graph, x)
@@ -109,7 +109,7 @@ def apply_flips(
     merged = as_binary(merged_assignment)
     if len(merged) != len(parts):
         raise ValueError("merged assignment length != number of parts")
-    for part, flip in zip(parts, merged):
+    for part, flip in zip(parts, merged, strict=True):
         if flip:
             x[part] ^= 1
     return x

@@ -388,7 +388,7 @@ class QAOA2Solver:
             )
         results = self._solve_leaf_payloads([p for _, p in payloads])
         local_assignments: List[np.ndarray] = []
-        for (part_id, payload), result in zip(payloads, results):
+        for (part_id, payload), result in zip(payloads, results, strict=True):
             sub = payload["graph"]
             records.append(
                 SubgraphRecord(

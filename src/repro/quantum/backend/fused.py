@@ -116,7 +116,7 @@ class FusedBackend(NumpyBackend):
         """Real action of a complex matrix on interleaved re/im *row*
         vectors: ``v_real @ R == realify(M v_complex)``."""
         mt = np.swapaxes(matrices, -1, -2)
-        shape = matrices.shape[:-2] + (2 * matrices.shape[-2], 2 * matrices.shape[-1])
+        shape = (*matrices.shape[:-2], 2 * matrices.shape[-2], 2 * matrices.shape[-1])
         out = np.empty(shape, dtype=np.float64)
         out[..., 0::2, 0::2] = mt.real
         out[..., 0::2, 1::2] = mt.imag

@@ -100,10 +100,10 @@ def noisy_qaoa_statevector(
     backend = energy.backend
     gammas, betas = energy.split_params(params)
     state = plus_state(energy.n_qubits)
-    for gamma, beta in zip(gammas, betas):
+    for gamma, beta in zip(gammas, betas, strict=True):
         state = backend.apply_cost_layer(state, energy.diagonal, gamma)
         if noise.two_qubit is not None and noise.two_qubit.probability > 0:
-            for a, b in zip(graph.u.tolist(), graph.v.tolist()):
+            for a, b in zip(graph.u.tolist(), graph.v.tolist(), strict=True):
                 state = noise.two_qubit.apply(state, a, rng=gen)
                 state = noise.two_qubit.apply(state, b, rng=gen)
         state = backend.apply_mixer_layer(state, beta)

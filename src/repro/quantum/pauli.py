@@ -64,7 +64,7 @@ class IsingHamiltonian:
         """Paper Eq. 1: H_C = ½ Σ w (1 − Z_i Z_j)."""
         quadratic = {
             (int(a), int(b)): -0.5 * float(weight)
-            for a, b, weight in zip(graph.u, graph.v, graph.w)
+            for a, b, weight in zip(graph.u, graph.v, graph.w, strict=True)
         }
         return IsingHamiltonian(
             n_qubits=graph.n_nodes,

@@ -152,7 +152,7 @@ def run_qaoa_reference(
     n = int(np.log2(len(graph_diagonal)))
     evolve = resolve_backend(backend, n_qubits=n)
     state = plus_state(n)
-    for gamma, beta in zip(gammas, betas):
+    for gamma, beta in zip(gammas, betas, strict=True):
         state = evolve.apply_cost_layer(state, graph_diagonal, gamma)
         state = evolve.apply_mixer_layer(state, beta)
     return state

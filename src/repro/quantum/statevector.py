@@ -270,7 +270,7 @@ def sample_counts(
         probs = probs / total
     samples = gen.choice(len(state), size=shots, p=probs)
     values, counts = np.unique(samples, return_counts=True)
-    return {int(v): int(c) for v, c in zip(values, counts)}
+    return {int(v): int(c) for v, c in zip(values, counts, strict=True)}
 
 
 def top_amplitudes(state: np.ndarray, k: int = 1) -> np.ndarray:

@@ -136,6 +136,12 @@ class CacheEntry:
 class ResultCache:
     """LRU-over-bytes result store with optional JSON persistence."""
 
+    # LRU state is shared between shard worker threads and the event-loop
+    # thread; every mutation must happen under the cache lock (reads of
+    # the scalar/dict attributes are deliberately lock-free snapshots).
+    # Machine-checked by the guarded-by rule in repro.analysis.
+    # repro: guarded-by=_lock writes=_entries,_nbytes,_compact_index,_loose_writes
+
     def __init__(
         self,
         *,
@@ -220,6 +226,7 @@ class ResultCache:
                     self.compact()
             self._evict()
 
+    # repro: holds-lock -- called from _admit, which holds the lock
     def _evict(self) -> None:
         while self._nbytes > self.max_bytes and len(self._entries) > 1:
             digest = next(iter(self._entries))  # least recently used
@@ -276,6 +283,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Compacted store: one JSONL data file + {digest: [offset, length]}
     # ------------------------------------------------------------------
+    # repro: holds-lock -- every caller reads under the cache lock
     def _load_compact_index(self) -> Dict[str, Tuple[int, int]]:
         if self._compact_index is not None:
             return self._compact_index
@@ -330,6 +338,7 @@ class ResultCache:
         with self._lock:
             return self._compact_locked()
 
+    # repro: holds-lock -- compact() takes the lock before delegating
     def _compact_locked(self) -> Dict[str, int]:
         payloads: Dict[str, dict] = {}
         for digest in self._load_compact_index():

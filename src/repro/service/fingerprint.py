@@ -96,7 +96,7 @@ class GraphFingerprint:
 # ---------------------------------------------------------------------------
 def _neighbor_lists(graph: Graph) -> List[List[Tuple[int, float]]]:
     nbrs: List[List[Tuple[int, float]]] = [[] for _ in range(graph.n_nodes)]
-    for a, b, w in zip(graph.u, graph.v, graph.w):
+    for a, b, w in zip(graph.u, graph.v, graph.w, strict=True):
         a, b, w = int(a), int(b), float(w)
         nbrs[a].append((b, w))
         nbrs[b].append((a, w))

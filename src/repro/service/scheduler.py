@@ -173,7 +173,7 @@ class BatchScheduler:
             if self.share_diagonals:
                 self._share_diagonals(generic, payloads, executor)
             solved = self._map_resilient(payloads, executor, capture_errors)
-            for job, result in zip(generic, solved):
+            for job, result in zip(generic, solved, strict=True):
                 results[job.index] = result
         self.metrics.increment("solves", len(jobs))
         failed = sum(1 for r in results if r and r.get("error"))
@@ -293,7 +293,7 @@ class BatchScheduler:
                 # captures the failure per job.
                 leftovers.extend(batch)
                 continue
-            for job, result in zip(batch, solved):
+            for job, result in zip(batch, solved, strict=True):
                 results[job.index] = result
             self.metrics.increment("lockstep_jobs", len(batch))
             self.metrics.increment("lockstep_batches")
@@ -356,7 +356,7 @@ def _solve_lockstep_batch(
     states = engine.statevectors(np.stack([opt.x for opt in opts]))
     elapsed = time.perf_counter() - start
     out: List[dict] = []
-    for job, opt, state, gen in zip(jobs, opts, states, gens):
+    for _job, opt, state, gen in zip(jobs, opts, states, gens, strict=True):
         assignment, cut, _info = solver._select(graph, energy, state, gen)
         out.append(
             {

@@ -138,7 +138,7 @@ class AsyncMaxCutServer:
         executor: Optional[ExecutorConfig] = None,
         lockstep: bool = True,
         use_cache: bool = True,
-        cache_cost_floor: object = None,
+        cache_cost_floor: Optional[object] = None,
         compact_every: Optional[int] = None,
         service_factory: Optional[Callable[[int], MaxCutService]] = None,
     ) -> None:
@@ -248,7 +248,12 @@ class AsyncMaxCutServer:
         service: MaxCutService = self.router.shards[shard_index]  # type: ignore
 
         # Cross-client in-flight coalescing: exactly one underlying solve
-        # per distinct (fingerprint, digest) at any moment.
+        # per distinct (fingerprint, digest) at any moment.  The whole
+        # check-then-enqueue block below must stay await-free — any
+        # suspension point would let a duplicate submission race past the
+        # in-flight check and solve twice (machine-checked by the
+        # atomic-section rule in repro.analysis).
+        # repro: begin-atomic
         inflight = self._inflight.get(key.digest)
         if inflight is not None and not inflight.future.cancelled():
             service.metrics.increment("requests")
@@ -292,6 +297,7 @@ class AsyncMaxCutServer:
             queue.put_nowait(submission)
         self._inflight[key.digest] = _InFlight(future=future, fp=key.fp)
         self.router.loads[shard_index] += 1
+        # repro: end-atomic
         return future
 
     async def solve(
@@ -400,7 +406,7 @@ class AsyncMaxCutServer:
                     break
             try:
                 results = await asyncio.to_thread(self._solve_batch, service, batch)
-                for sub, result in zip(batch, results):
+                for sub, result in zip(batch, results, strict=True):
                     self._resolve(sub, result=result)
             except asyncio.CancelledError:
                 self._fail_batch(batch, RuntimeError("server stopped mid-solve"))

@@ -176,7 +176,7 @@ class MaxCutService:
         seed: RngLike = 0,
         lockstep: bool = True,
         use_cache: bool = True,
-        cache_cost_floor: object = None,
+        cache_cost_floor: Optional[object] = None,
         error_mode: str = "raise",
         compact_every: Optional[int] = None,
     ) -> None:
@@ -335,7 +335,7 @@ class MaxCutService:
                 executor=executor,
                 capture_errors=self.error_mode == "capture",
             )
-            for job, members, raw in zip(jobs, job_members, solved):
+            for _job, members, raw in zip(jobs, job_members, solved, strict=True):
                 owner_idx = members[0]
                 if raw.get("error"):
                     self.metrics.increment("errors", len(members))

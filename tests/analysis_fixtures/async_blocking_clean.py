@@ -1,0 +1,22 @@
+# Fixture: the sanctioned async patterns — await asyncio.sleep, blocking
+# work shipped to a thread, and sync helpers *defined* (not called)
+# inside the async body.
+# repro: module=repro.service.fixture_async_ok
+import asyncio
+import time
+from pathlib import Path
+
+
+def read_config(path: Path) -> str:
+    return path.read_text()  # sync context: fine
+
+
+async def drain(queue, path: Path):
+    await asyncio.sleep(0.01)
+    text = await asyncio.to_thread(read_config, path)
+
+    def helper():
+        time.sleep(0.1)  # runs via to_thread below, not on the loop
+
+    await asyncio.to_thread(helper)
+    return text

@@ -1,0 +1,14 @@
+# Fixture: blocking calls on the event loop inside async bodies.
+# repro: module=repro.service.fixture_async
+import subprocess
+import time
+from pathlib import Path
+
+
+async def drain(queue, path: Path, fut):
+    time.sleep(0.1)  # expect: async-blocking
+    text = path.read_text()  # expect: async-blocking
+    subprocess.run(["true"])  # expect: async-blocking
+    with open("log.txt") as fh:  # expect: async-blocking
+        fh.write(text)
+    return fut.result()  # expect: async-blocking

@@ -1,0 +1,15 @@
+# Fixture: an await-free atomic section (awaits are fine outside it).
+# repro: module=repro.service.fixture_atomic_ok
+import asyncio
+
+
+async def submit(self, key, queue):
+    # repro: begin-atomic
+    inflight = self.inflight.get(key)
+    if inflight is not None:
+        return inflight
+    future = asyncio.get_running_loop().create_future()
+    queue.put_nowait(key)
+    self.inflight[key] = future
+    # repro: end-atomic
+    return await future

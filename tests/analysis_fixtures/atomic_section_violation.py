@@ -1,0 +1,16 @@
+# Fixture: suspension points inside a declared atomic section.
+# repro: module=repro.service.fixture_atomic
+import asyncio
+
+
+async def submit(self, key, queue):
+    # repro: begin-atomic
+    inflight = self.inflight.get(key)
+    if inflight is not None:
+        return inflight
+    hit = await asyncio.to_thread(self.lookup, key)  # expect: atomic-section
+    async with self.gate:  # expect: atomic-section
+        queue.put_nowait(key)
+    self.inflight[key] = hit
+    # repro: end-atomic
+    return hit

@@ -1,0 +1,11 @@
+# Fixture: consumers resolve a backend; the backend package itself may
+# import kernels.  Neither access pattern is a seam violation.
+# repro: module=repro.qaoa.fixture_seam_ok
+from repro.quantum.backend import resolve_backend
+from repro.quantum.statevector import plus_state  # non-kernel import is fine
+
+
+def evolve(graph, angles):
+    backend = resolve_backend("auto", n_qubits=graph.n_nodes)
+    state = plus_state(graph.n_nodes)
+    return backend.evolve_state(state, angles)

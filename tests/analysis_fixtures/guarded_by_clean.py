@@ -1,0 +1,26 @@
+# Fixture: every guarded access is under the lock, helpers whose callers
+# hold the lock carry `# repro: holds-lock`, __init__ is exempt.
+# repro: module=repro.service.fixture_guarded_ok
+import threading
+
+
+class Recorder:
+    # repro: guarded-by=_lock attrs=_events writes=_count
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._count = 0
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+            self._bump()
+
+    # repro: holds-lock -- only called from record(), under the lock
+    def _bump(self):
+        self._count += 1
+        self._events.sort()
+
+    def snapshot_count(self):
+        return self._count  # lock-free read of a writes=-guarded attr

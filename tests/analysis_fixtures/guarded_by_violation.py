@@ -1,0 +1,27 @@
+# Fixture: lock-annotated attributes touched outside `with self._lock`.
+# repro: module=repro.service.fixture_guarded
+import threading
+
+
+class Recorder:
+    # repro: guarded-by=_lock attrs=_events writes=_count
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+        self._count = 0
+
+    def record(self, event):
+        self._events.append(event)  # expect: guarded-by
+        self._count += 1  # expect: guarded-by
+
+    def peek(self):
+        return list(self._events)  # expect: guarded-by
+
+    def snapshot_count(self):
+        return self._count  # reads of a writes=-guarded attr are fine
+
+    def record_locked(self, event):
+        with self._lock:
+            self._events.append(event)
+            self._count += 1

@@ -1,0 +1,7 @@
+# Fixture: half of a top-level import cycle (see corpus.json).
+# repro: module=repro.fixcycle.alpha
+from repro.fixcycle.beta import beta_value
+
+
+def alpha_value():
+    return beta_value() + 1

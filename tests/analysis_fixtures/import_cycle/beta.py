@@ -1,0 +1,9 @@
+# Fixture: the other half — a *top-level* back-import completes the
+# cycle.  (A deferred, inside-function import would be the sanctioned
+# fix and is not flagged.)
+# repro: module=repro.fixcycle.beta
+from repro.fixcycle.alpha import alpha_value
+
+
+def beta_value():
+    return alpha_value() - 1

@@ -1,0 +1,13 @@
+# Fixture: core modules may import other core/util modules freely, and
+# upper layers (service, hpc) may import core — only the reverse is a
+# violation.
+# repro: module=repro.graphs.fixture_layering_ok
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.rng import ensure_rng
+
+
+def jitter_weights(graph: Graph, rng=None):
+    gen = ensure_rng(rng)
+    return np.asarray(graph.w) + gen.normal(scale=1e-9, size=len(graph.w))

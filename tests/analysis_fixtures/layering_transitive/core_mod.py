@@ -1,0 +1,8 @@
+# Fixture: a core module reaching the serving layer *transitively*
+# through an innocent-looking helper (see corpus.json for expectations).
+# repro: module=repro.quantum.fixture_core
+from repro.fixmid.helper import solve_remote
+
+
+def evolve_and_store(graph):
+    return solve_remote(graph)

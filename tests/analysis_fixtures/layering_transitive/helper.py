@@ -1,0 +1,10 @@
+# Fixture: the middle module — not itself a core package, but it drags
+# repro.service into anything that imports it.
+# repro: module=repro.fixmid.helper
+from repro.service.cache import ResultCache
+
+_CACHE = ResultCache()
+
+
+def solve_remote(graph):
+    return _CACHE.get(str(graph))

@@ -1,0 +1,15 @@
+# Fixture: a core-numerics module importing the serving layer directly.
+# repro: module=repro.graphs.fixture_layering
+from repro.service.cache import ResultCache  # expect: layering
+from repro.hpc.executor import map_jobs  # expect: layering
+
+
+def cached_degree(graph):
+    cache = ResultCache()
+    return map_jobs(len, [graph])
+
+
+def also_lazy(graph):
+    import repro.cli  # expect: layering
+
+    return repro.cli

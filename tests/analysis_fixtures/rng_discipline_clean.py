@@ -1,0 +1,12 @@
+# Fixture: the sanctioned pattern — Generators come from util.rng and
+# are threaded through explicitly; numpy.random *types* may be named.
+# repro: module=repro.optim.fixture_rng_ok
+import numpy as np
+
+from repro.util.rng import ensure_rng, spawn_rngs
+
+
+def sample_angles(p, rng: np.random.Generator | None = None):
+    gen = ensure_rng(rng)
+    children = spawn_rngs(gen, 2)
+    return gen.random(p), [child.integers(0, 10) for child in children]

@@ -1,0 +1,15 @@
+# Fixture: hidden global RNG state — banned everywhere in src/repro.
+# repro: module=repro.optim.fixture_rng
+import random
+
+import numpy as np
+
+np.random.seed(1234)  # expect: rng-discipline
+
+
+def sample_angles(p):
+    gammas = np.random.rand(p)  # expect: rng-discipline
+    state = np.random.RandomState(7)  # expect: rng-discipline
+    jitter = random.random()  # expect: rng-discipline
+    gen = np.random.default_rng(0)  # expect: rng-discipline
+    return gammas, state, jitter, gen

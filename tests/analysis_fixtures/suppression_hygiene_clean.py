@@ -1,0 +1,9 @@
+# Fixture: a justified suppression silences its rule and nothing else.
+# repro: module=repro.service.fixture_hygiene_ok
+import numpy as np
+
+
+def demo_of_legacy_api():
+    # The call below documents the *banned* API in a doc example; the
+    # suppression carries the required one-line justification.
+    np.random.seed(0)  # repro: disable=rng-discipline -- doc example of the banned call

@@ -1,0 +1,19 @@
+# Fixture: sloppy suppressions and unbalanced atomic markers.
+# repro: module=repro.service.fixture_hygiene
+import numpy as np
+
+
+def unjustified():
+    # expect: suppression-hygiene
+    np.random.seed(0)  # repro: disable=rng-discipline
+
+
+def unknown_rule():
+    # expect: suppression-hygiene, rng-discipline
+    np.random.seed(1)  # repro: disable=no-such-rule -- typo'd rule name
+
+
+async def unbalanced(self):
+    # expect: suppression-hygiene
+    # repro: begin-atomic
+    self.inflight.clear()

@@ -1,0 +1,27 @@
+# Fixture: broad catches that *handle* — narrow tuples may degrade
+# silently, Exception must be recorded/counted, BaseException must be
+# stored or re-raised.
+# repro: module=repro.service.fixture_swallow_ok
+
+
+def load(path, metrics):
+    try:
+        return path.read_text()
+    except (OSError, ValueError):
+        return None  # torn file degrades to a miss: narrow and deliberate
+
+
+def probe(cache, digest, metrics):
+    try:
+        return cache[digest]
+    except Exception as exc:
+        metrics.record_error(exc)
+        return None
+
+
+def run(job, errors):
+    try:
+        return job()
+    except BaseException as exc:
+        errors.append(exc)
+        raise

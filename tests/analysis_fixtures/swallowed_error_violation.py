@@ -1,0 +1,23 @@
+# Fixture: errors silently eaten on would-be fault-tolerance paths.
+# repro: module=repro.service.fixture_swallow
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except:  # expect: swallowed-error
+        pass
+
+
+def probe(cache, digest):
+    try:
+        return cache[digest]
+    except Exception:  # expect: swallowed-error
+        pass
+
+
+def run(job):
+    try:
+        return job()
+    except BaseException:  # expect: swallowed-error
+        return None

@@ -61,7 +61,7 @@ def _golden_statevector(diagonal: np.ndarray, params: np.ndarray) -> np.ndarray:
     params = np.asarray(params, dtype=np.float64)
     p = len(params) // 2
     state = plus_state(n)
-    for gamma, beta in zip(params[:p], params[p:]):
+    for gamma, beta in zip(params[:p], params[p:], strict=True):
         state *= np.exp(-1j * gamma * diagonal)
         state = _golden_rx_layer(state, beta)
     return state
@@ -233,9 +233,9 @@ class TestGoldenEvolvePaths:
 
         gen = ensure_rng(123)
         state = plus_state(6)
-        for gamma, beta in zip(params[:2], params[2:]):
+        for gamma, beta in zip(params[:2], params[2:], strict=True):
             state = state * np.exp(-1j * gamma * energy.diagonal)
-            for a, b in zip(graph.u.tolist(), graph.v.tolist()):
+            for a, b in zip(graph.u.tolist(), graph.v.tolist(), strict=True):
                 state = noise.two_qubit.apply(state, a, rng=gen)
                 state = noise.two_qubit.apply(state, b, rng=gen)
             state = _golden_rx_layer(state, beta)

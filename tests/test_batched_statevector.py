@@ -75,7 +75,7 @@ class TestKernels:
             states = rng.standard_normal((6, dim)) + 1j * rng.standard_normal((6, dim))
             betas = rng.uniform(-np.pi, np.pi, size=6)
             batched = BACKEND.apply_mixer_layer(states.copy(), betas)
-            for row, (state, beta) in enumerate(zip(states, betas)):
+            for row, (state, beta) in enumerate(zip(states, betas, strict=True)):
                 single = BACKEND.apply_mixer_layer(state.copy(), beta)
                 np.testing.assert_allclose(batched[row], single, atol=ATOL)
 

@@ -107,7 +107,7 @@ class TestQAOA2LevelCheckpointing:
         first = checkpointed_qaoa2_level(graph, partition.parts, payload_for, store)
         second = checkpointed_qaoa2_level(graph, partition.parts, payload_for, store)
         assert len(first) == len(partition.parts)
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a["cut"] == b["cut"]
             assert np.array_equal(a["assignment"], b["assignment"])
 

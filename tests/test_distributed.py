@@ -136,7 +136,7 @@ class TestCommAccounting:
         for strategy in ("remap", "direct"):
             d = DistributedStatevector(6, 4, strategy=strategy)
             d.set_plus_state()
-            for layer in range(3):
+            for _layer in range(3):
                 d.apply_diagonal_fn(lambda idx: np.exp(-0.2j * diag[idx]))
                 d.apply_rx_layer(0.3)
             stats[strategy] = d.stats.bytes_moved

@@ -134,13 +134,13 @@ class TestScaling:
     def test_random_is_worst(self, scaling):
         rel = scaling.relative_to_qaoa()
         for name in ("Classic", "Best", "GW"):
-            for rnd, other in zip(rel["Random"], rel[name]):
+            for rnd, other in zip(rel["Random"], rel[name], strict=True):
                 assert rnd < other
 
     def test_best_at_least_pure_methods(self, scaling):
         for best, classic, qaoa in zip(
             scaling.cuts["Best"], scaling.cuts["Classic"], scaling.cuts["QAOA"]
-        ):
+        , strict=True):
             # "Best" picks per sub-graph; merged randomness allows tiny slack.
             assert best >= min(classic, qaoa) - 2.0
 

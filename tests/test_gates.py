@@ -107,7 +107,7 @@ class TestParameterisedGates:
 
 class TestGateRegistry:
     def test_all_registered_gates_unitary(self):
-        for name, (factory, n_qubits, n_params) in GATE_SET.items():
+        for name, (_factory, n_qubits, n_params) in GATE_SET.items():
             params = tuple(0.3 * (k + 1) for k in range(n_params))
             m = gate_matrix(name, params)
             assert m.shape == (2**n_qubits, 2**n_qubits)

@@ -84,7 +84,7 @@ class TestStructuredGenerators:
         assert g.n_nodes == 7
         assert g.n_edges == 12
         # Bipartite: no edge within {0,1,2} or within {3..6}
-        for a, b in zip(g.u, g.v):
+        for a, b in zip(g.u, g.v, strict=True):
             assert (a < 3) != (b < 3)
 
     def test_random_regular_degrees(self):

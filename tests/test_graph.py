@@ -87,7 +87,7 @@ class TestProperties:
 
     def test_edge_index_roundtrip(self, weighted_square):
         index = weighted_square.edge_index()
-        for k, (a, b) in enumerate(zip(weighted_square.u, weighted_square.v)):
+        for k, (a, b) in enumerate(zip(weighted_square.u, weighted_square.v, strict=True)):
             assert index[(int(a), int(b))] == k
 
 
@@ -156,7 +156,7 @@ class TestNetworkxRoundtrip:
     def test_equality_and_hash(self, er_small):
         other = Graph.from_edges(
             er_small.n_nodes,
-            list(zip(er_small.u.tolist(), er_small.v.tolist(), er_small.w.tolist())),
+            list(zip(er_small.u.tolist(), er_small.v.tolist(), er_small.w.tolist(), strict=True)),
         )
         assert other == er_small
         assert hash(other) == hash(er_small)

@@ -46,7 +46,7 @@ def small_graphs(draw, max_nodes=10, weighted=True):
         )
     else:
         weights = [1.0] * len(chosen)
-    edges = [(a, b, w) for (a, b), w in zip(chosen, weights)]
+    edges = [(a, b, w) for (a, b), w in zip(chosen, weights, strict=True)]
     return Graph.from_edges(n, edges)
 
 

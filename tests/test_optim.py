@@ -242,7 +242,7 @@ class TestMultiStartSPSAIndependent:
             quadratic, x0s, maxiter=30, rngs=rngs(),
             batch_fun=self.quadratic_batch,
         )
-        for a, b in zip(point, batched):
+        for a, b in zip(point, batched, strict=True):
             assert a.history == b.history
             np.testing.assert_array_equal(a.x, b.x)
 

@@ -180,7 +180,7 @@ class TestZZCorrelationsBatch:
         pairs = [(0, 1), (1, 3), (0, 2)]
         batch = zz_correlations_batch(states, pairs)
         assert batch.shape == (5, 3)
-        for row, state in zip(batch, states):
+        for row, state in zip(batch, states, strict=True):
             np.testing.assert_allclose(
                 row, _zz_per_pair_reference(state, pairs), atol=1e-12
             )

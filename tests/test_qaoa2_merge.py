@@ -29,7 +29,7 @@ class TestAssemble:
     def test_scatter_roundtrip(self):
         graph, partition, locals_, _ = random_setup(0)
         x = assemble_global_assignment(graph.n_nodes, partition.parts, locals_)
-        for part, local in zip(partition.parts, locals_):
+        for part, local in zip(partition.parts, locals_, strict=True):
             assert np.array_equal(x[part], local)
 
     def test_length_mismatch_rejected(self):

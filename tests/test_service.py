@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -120,7 +122,7 @@ class TestCacheCorrectness:
         threaded = MaxCutService(
             seed=0, executor=ExecutorConfig(backend="thread", max_workers=3)
         ).solve_many(requests)
-        for a, b in zip(serial, threaded):
+        for a, b in zip(serial, threaded, strict=True):
             assert a.cut == b.cut
             assert np.array_equal(a.assignment, b.assignment)
 
@@ -145,7 +147,7 @@ class TestCacheCorrectness:
 # Lock-step batching
 # ---------------------------------------------------------------------------
 class TestLockstepBatching:
-    SPSA = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
+    SPSA: ClassVar[dict] = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
 
     def test_lockstep_matches_solo_solves(self, graph):
         service = MaxCutService(seed=0)
@@ -156,7 +158,7 @@ class TestLockstepBatching:
         batched = service.solve_many(requests)
         assert service.metrics.count("lockstep_batches") == 1
         assert service.metrics.count("lockstep_jobs") == 3
-        for req, res in zip(requests, batched):
+        for req, res in zip(requests, batched, strict=True):
             solo = _solve_subgraph_job(payload(graph, req.seed, options=self.SPSA))
             assert res.cut == solo["cut"]
             assert np.array_equal(res.assignment, solo["assignment"])
@@ -193,7 +195,7 @@ class TestLockstepBatching:
         ]
         out = service.solve_many(requests)
         assert service.metrics.count("shared_diagonals") == 2
-        for req, res in zip(requests, out):
+        for req, res in zip(requests, out, strict=True):
             solo = _solve_subgraph_job(payload(graph, req.seed))
             assert res.cut == solo["cut"]
             assert np.array_equal(res.assignment, solo["assignment"])
@@ -390,7 +392,7 @@ class TestReviewRegressions:
     """Pins for review findings: exact/batched cache isolation, result
     immutability, bounded ticket retention."""
 
-    SPSA = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
+    SPSA: ClassVar[dict] = {"layers": 2, "maxiter": 40, "optimizer": "spsa"}
 
     def test_exact_requests_never_served_lockstep_entries(self, graph):
         service = MaxCutService(seed=0)

@@ -182,7 +182,7 @@ class TestExecutorFaults:
     def test_error_mode_raise_propagates(self):
         graph = erdos_renyi(9, 0.4, weighted=True, rng=1)
         service = MaxCutService(seed=0, error_mode="raise")
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="no-such-method"):
             service.solve(graph, method="no-such-method")
 
     def test_error_mode_capture_isolates_and_never_caches(self):

@@ -86,7 +86,7 @@ class TestDeterminism:
             requests, clients=6, n_shards=3, seed=0, max_batch=4
         )
         assert len(results) == len(requests)
-        for got, want in zip(results, ref):
+        for got, want in zip(results, ref, strict=True):
             assert got.cut == want.cut
             assert np.array_equal(got.assignment, want.assignment)
             assert got.seed == want.seed
@@ -95,7 +95,7 @@ class TestDeterminism:
         requests = stream(n=30, universe=4)
         _, one = serve_requests(requests, clients=4, n_shards=1, seed=0)
         _, three = serve_requests(requests, clients=4, n_shards=3, seed=0)
-        for a, b in zip(one, three):
+        for a, b in zip(one, three, strict=True):
             assert a.cut == b.cut
             assert np.array_equal(a.assignment, b.assignment)
 
@@ -155,7 +155,7 @@ class TestConcurrentClients:
         merged = server.merged_metrics()
         assert merged.count("solves") == len(distinct_digests(requests))
         ref = MaxCutService(seed=0).solve_many(requests)
-        for got, want in zip(results, ref):
+        for got, want in zip(results, ref, strict=True):
             assert got.cut == want.cut
 
     def test_backpressure_small_queue_serves_everything(self):

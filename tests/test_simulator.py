@@ -129,8 +129,8 @@ class TestQAOAReference:
         qc = Circuit(5)
         for q in range(5):
             qc.h(q)
-        for gm, bt in zip(gammas, betas):
-            for a, b, w in zip(g.u, g.v, g.w):
+        for gm, bt in zip(gammas, betas, strict=True):
+            for a, b, w in zip(g.u, g.v, g.w, strict=True):
                 qc.rzz(-gm * w, int(a), int(b))
             for q in range(5):
                 qc.rx(2 * bt, q)

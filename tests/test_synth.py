@@ -44,7 +44,7 @@ class TestModel:
 
 class TestEdgeColoring:
     def test_disjoint_within_class(self, er_small):
-        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist(), strict=True))
         classes = greedy_edge_coloring(er_small.n_nodes, edges)
         for cls in classes:
             seen = set()
@@ -54,13 +54,13 @@ class TestEdgeColoring:
                 seen.update((a, b))
 
     def test_all_edges_colored_once(self, er_small):
-        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist(), strict=True))
         classes = greedy_edge_coloring(er_small.n_nodes, edges)
         flat = sorted(k for cls in classes for k in cls)
         assert flat == list(range(len(edges)))
 
     def test_color_count_bounded(self, er_small):
-        edges = list(zip(er_small.u.tolist(), er_small.v.tolist()))
+        edges = list(zip(er_small.u.tolist(), er_small.v.tolist(), strict=True))
         classes = greedy_edge_coloring(er_small.n_nodes, edges)
         max_degree = int(er_small.degrees().max())
         assert len(classes) <= 2 * max_degree - 1 if max_degree else True
@@ -74,7 +74,7 @@ class TestEdgeColoring:
 class TestScheduler:
     def test_same_unitary_after_reorder(self):
         qc = Circuit(4)
-        for (a, b), theta in zip([(0, 1), (1, 2), (2, 3), (0, 3)], [0.3, 0.5, 0.7, 0.9]):
+        for (a, b), theta in zip([(0, 1), (1, 2), (2, 3), (0, 3)], [0.3, 0.5, 0.7, 0.9], strict=True):
             qc.rzz(theta, a, b)
         scheduled = schedule_commuting_layer(4, qc.instructions)
         qc2 = Circuit(4, scheduled)
