@@ -8,7 +8,7 @@ complete, simulates an interruption halfway through, and restarts —
 the second run resumes from the journal and only computes the missing
 sub-problems, finishing the merge step with identical results.
 
-Run:  python examples/checkpoint_restart.py
+Run:  python examples/checkpoint_restart.py          (~2 seconds)
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ need half-block exchanges.  The cache-blocking qubit-remap strategy
 layers, and the calibrated machine model extrapolates to the paper's
 "33 qubits, p=8, ~10 minutes on 512 nodes" data point.
 
-Run:  python examples/distributed_simulation.py
+Run:  python examples/distributed_simulation.py          (~1 second)
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ average, producing the paper's three proportion tables and the
 "most successful parameter combination" readout (the paper finds
 (rhobeg=0.5, p=6) at full scale).
 
-Run:  python examples/gw_vs_qaoa_gridsearch.py          (~1 minute)
+Run:  python examples/gw_vs_qaoa_gridsearch.py          (~20 seconds)
 """
 
 from __future__ import annotations

@@ -11,7 +11,7 @@ Part 2 runs a real QAOA² solve through the Fig. 2 coordinator scheme:
 rank 0 partitions the graph and dynamically dispatches sub-graphs to
 worker ranks over the MPI-like communicator.
 
-Run:  python examples/hybrid_workflow_slurm.py
+Run:  python examples/hybrid_workflow_slurm.py          (~4 seconds)
 """
 
 from __future__ import annotations

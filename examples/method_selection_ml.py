@@ -10,7 +10,7 @@ selection mechanisms".  This example exercises the full loop:
 4. plug the trained classifier into QAOA² as the per-sub-graph run-time
    policy (§3.6) and compare against static policies.
 
-Run:  python examples/method_selection_ml.py          (~1-2 minutes)
+Run:  python examples/method_selection_ml.py          (~15 seconds)
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@ solved in parallel with QAOA or GW, cross-edges are folded into the merged
 graph (step 4) whose MaxCut decides which sub-graphs to flip (step 5) —
 recursively, since the merged graph itself exceeds the budget.
 
-Run:  python examples/qaoa2_large_graph.py
+Run:  python examples/qaoa2_large_graph.py          (~6 seconds)
 """
 
 from __future__ import annotations

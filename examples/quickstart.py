@@ -6,7 +6,7 @@ it with QAOA (paper §3.2), Goemans-Williamson (§3.4), recursive QAOA,
 simulated annealing and exact brute force, and prints a comparison — the
 smallest possible version of the paper's §4 methodology.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py          (~2 seconds)
 """
 
 from __future__ import annotations

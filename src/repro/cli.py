@@ -13,7 +13,9 @@ writing Python:
   print its counters / latency histograms / cache report
 * ``serve``         — drive the same stream through the async sharded
   front end (AsyncMaxCutServer): concurrent clients, in-flight
-  coalescing, per-shard queues; prints the merged shard report
+  coalescing, per-shard queues; prints the merged shard report.  With
+  ``--http HOST:PORT`` it instead exposes the server over real HTTP
+  (JSON protocol, see docs/http-api.md) until SIGINT/SIGTERM
 """
 
 from __future__ import annotations
@@ -182,6 +184,27 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        from repro.service import serve_http
+
+        host, _, port_text = args.http.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--http expects HOST:PORT, got {args.http!r}", file=sys.stderr)
+            return 2
+        serve_http(
+            host,
+            int(port_text),
+            n_shards=args.shards,
+            seed=args.seed,
+            queue_depth=args.queue_depth,
+            admission=args.admission,
+            max_batch=args.max_batch,
+            disk_dir=args.disk_dir,
+            cache_cost_floor=args.cache_cost_floor,
+            compact_every=args.compact_every,
+        )
+        return 0
+
     from repro.service import serve_requests, zipf_requests
 
     requests = zipf_requests(
@@ -329,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive a Zipf stream through the async sharded server "
              "(concurrent clients + in-flight coalescing), print stats",
     )
+    p_serve.add_argument("--http", metavar="HOST:PORT", default=None,
+                         help="serve real HTTP on this address until "
+                              "SIGINT/SIGTERM (port 0 picks a free port; "
+                              "JSON protocol in docs/http-api.md) instead "
+                              "of driving the in-process Zipf stream")
     p_serve.add_argument("--requests", type=int, default=60)
     p_serve.add_argument("--universe", type=int, default=6,
                          help="number of distinct graphs in the stream")

@@ -18,18 +18,31 @@ work is a *request* (graph + solver configuration) rather than a graph:
   asyncio front end: concurrent clients, cross-client in-flight
   coalescing, bounded-queue admission control, per-shard worker
   threads (``python -m repro serve``);
+* :mod:`repro.service.http`        — stdlib HTTP/1.1 wire transport over
+  the async server: JSON protocol, per-request deadlines, keep-alive,
+  graceful drain (``python -m repro serve --http HOST:PORT``; contract
+  in ``docs/http-api.md``);
+* :mod:`repro.service.client`      — :class:`HttpMaxCutClient`, the
+  blocking keep-alive client speaking the same wire schema;
 * :mod:`repro.service.metrics`     — counters and latency histograms
-  behind ``python -m repro service-stats``.
+  behind ``python -m repro service-stats`` and ``GET /stats``.
 
 See ``src/repro/service/README.md`` for the request lifecycle.
 """
 
 from repro.service.cache import CacheEntry, ResultCache
+from repro.service.client import HttpMaxCutClient, HttpResponseError
 from repro.service.fingerprint import (
     GraphFingerprint,
     canonical_fingerprint,
     config_token,
     request_digest,
+)
+from repro.service.http import (
+    HttpMaxCutServer,
+    HttpServerThread,
+    WireFormatError,
+    serve_http,
 )
 from repro.service.metrics import LatencyStats, ServiceMetrics
 from repro.service.scheduler import BatchScheduler, ScheduledJob
@@ -54,6 +67,10 @@ __all__ = [
     "BatchScheduler",
     "CacheEntry",
     "GraphFingerprint",
+    "HttpMaxCutClient",
+    "HttpMaxCutServer",
+    "HttpResponseError",
+    "HttpServerThread",
     "LatencyStats",
     "MaxCutService",
     "RequestError",
@@ -65,10 +82,12 @@ __all__ = [
     "ServiceResult",
     "ShardRouter",
     "SolveRequest",
+    "WireFormatError",
     "build_request",
     "canonical_fingerprint",
     "config_token",
     "request_digest",
+    "serve_http",
     "serve_requests",
     "shard_for_digest",
     "zipf_requests",

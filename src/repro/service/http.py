@@ -1,0 +1,923 @@
+"""HTTP wire transport for :class:`~repro.service.server.AsyncMaxCutServer`.
+
+PR 6 built the in-process heavy-traffic story; this module puts a real
+service boundary in front of it — a **stdlib-only** asyncio HTTP/1.1
+front end so anything that can speak HTTP (curl, a load balancer, another
+language) can reach the sharded solver.  Design goals, in order:
+
+* **nothing between the socket and ``submit()``** — requests are parsed,
+  validated and handed straight to :meth:`AsyncMaxCutServer.submit`; all
+  coalescing/sharding/admission behaviour is the server's, unchanged;
+* **robustness mapping is explicit** — every failure class has one
+  documented status code (see :data:`ERROR_CONTRACT` and
+  ``docs/http-api.md``; the two must match, pinned by
+  ``tests/test_http_docs.py``):
+
+  ==================  ====  =============================================
+  code                HTTP  meaning
+  ==================  ====  =============================================
+  bad-request          400  malformed JSON / invalid request schema
+  not-found            404  unknown path
+  method-not-allowed   405  known path, wrong HTTP method
+  payload-too-large    413  body above ``max_body_bytes``; rejected
+                            before the body is read or parsed
+  internal-error       500  unexpected transport-layer failure
+  solve-failed         502  the shard captured a per-request solve error
+                            (``error_mode="capture"``); never cached
+  overloaded           503  admission control refused the request
+                            (``ServerOverloaded``); carries Retry-After
+  deadline-exceeded    504  the request's deadline elapsed mid-solve;
+                            the solve itself keeps running so coalesced
+                            followers are never poisoned
+  ==================  ====  =============================================
+
+* **connections are cheap** — HTTP/1.1 keep-alive by default, bounded
+  header/body sizes, per-connection idle timeout, and a graceful drain on
+  shutdown (stop accepting, finish in-flight responses, then drain the
+  shard queues via :meth:`AsyncMaxCutServer.stop`).
+
+The JSON request/response schemas live in ``docs/http-api.md``; the
+blocking counterpart is :class:`repro.service.client.HttpMaxCutClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import numbers
+import threading
+import time
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import (
+    AsyncMaxCutServer,
+    RequestError,
+    ServerOverloaded,
+)
+from repro.service.service import ServiceResult, SolveRequest
+
+# ---------------------------------------------------------------------------
+# Protocol constants (docs/http-api.md mirrors these; tests pin the match)
+# ---------------------------------------------------------------------------
+
+#: Machine-readable error code -> HTTP status.  The single source of
+#: truth for the error contract; ``docs/http-api.md`` documents exactly
+#: this table and ``tests/test_http_docs.py`` fails if either drifts.
+ERROR_CONTRACT: Dict[str, int] = {
+    "bad-request": 400,
+    "not-found": 404,
+    "method-not-allowed": 405,
+    "payload-too-large": 413,
+    "internal-error": 500,
+    "solve-failed": 502,
+    "overloaded": 503,
+    "deadline-exceeded": 504,
+}
+
+#: Seconds a 503 response advises the client to wait before retrying.
+RETRY_AFTER_S = 1
+
+DEFAULT_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is a very large graph
+DEFAULT_MAX_NODES = 4096  # statevector solvers cap out far below this
+DEFAULT_KEEPALIVE_S = 30.0
+MAX_HEADER_BYTES = 16 * 1024
+#: Oversized bodies up to this size are read-and-discarded so the 413
+#: response can be delivered reliably and the connection kept alive;
+#: beyond it the connection is closed instead (the client may observe a
+#: reset while still transmitting).
+DISCARD_BYTES_CAP = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Route table: path -> allowed HTTP method.  Anything else is 404/405.
+ROUTES = {
+    "/solve": "POST",
+    "/healthz": "GET",
+    "/stats": "GET",
+}
+
+_SOLVE_KEYS = frozenset(
+    {"graph", "method", "options", "qaoa_grid", "gw_options", "seed",
+     "exact", "deadline_s"}
+)
+_GRAPH_KEYS = frozenset({"n_nodes", "edges"})
+
+
+class WireFormatError(ValueError):
+    """A request/response payload violates the documented JSON schema."""
+
+
+# ---------------------------------------------------------------------------
+# JSON wire codecs (shared with the blocking client)
+# ---------------------------------------------------------------------------
+def jsonable(obj):
+    """Recursively coerce ``obj`` into strict-JSON-safe builtins.
+
+    NumPy scalars/arrays become Python numbers/lists; non-finite floats
+    become ``None`` (strict JSON has no NaN/Infinity).
+    """
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        value = float(obj)
+        return value if np.isfinite(value) else None
+    if isinstance(obj, dict):
+        return {str(key): jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)) or hasattr(obj, "tolist"):
+        seq = obj.tolist() if hasattr(obj, "tolist") else obj
+        return [jsonable(item) for item in seq]
+    return obj
+
+
+def graph_to_wire(graph: Graph) -> dict:
+    """``{"n_nodes": n, "edges": [[u, v, w], ...]}`` (docs/http-api.md)."""
+    edges = [
+        [int(a), int(b), float(weight)]
+        for a, b, weight in zip(graph.u, graph.v, graph.w, strict=True)
+    ]
+    return {"n_nodes": int(graph.n_nodes), "edges": edges}
+
+
+def graph_from_wire(payload: object, *, max_nodes: int = DEFAULT_MAX_NODES) -> Graph:
+    """Validate and decode the wire graph schema into a :class:`Graph`."""
+    if not isinstance(payload, dict):
+        raise WireFormatError("'graph' must be an object")
+    unknown = set(payload) - _GRAPH_KEYS
+    if unknown:
+        raise WireFormatError(f"unknown graph keys {sorted(unknown)}")
+    if "n_nodes" not in payload:
+        raise WireFormatError("'graph.n_nodes' is required")
+    n_nodes = payload["n_nodes"]
+    if isinstance(n_nodes, bool) or not isinstance(n_nodes, int):
+        raise WireFormatError("'graph.n_nodes' must be an integer")
+    if n_nodes < 0:
+        raise WireFormatError("'graph.n_nodes' must be non-negative")
+    if n_nodes > max_nodes:
+        raise WireFormatError(
+            f"'graph.n_nodes' = {n_nodes} exceeds the service limit {max_nodes}"
+        )
+    edges = payload.get("edges", [])
+    if not isinstance(edges, list):
+        raise WireFormatError("'graph.edges' must be a list")
+    triples = []
+    for index, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
+            raise WireFormatError(
+                f"edge {index} must be [u, v] or [u, v, weight]"
+            )
+        a, b = edge[0], edge[1]
+        for endpoint in (a, b):
+            if isinstance(endpoint, bool) or not isinstance(endpoint, int):
+                raise WireFormatError(
+                    f"edge {index} endpoints must be integers"
+                )
+        weight = edge[2] if len(edge) == 3 else 1.0
+        if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+            raise WireFormatError(f"edge {index} weight must be a number")
+        if not np.isfinite(weight):
+            raise WireFormatError(f"edge {index} weight must be finite")
+        triples.append((int(a), int(b), float(weight)))
+    try:
+        return Graph.from_edges(n_nodes, triples)
+    except ValueError as exc:
+        raise WireFormatError(f"invalid graph: {exc}") from exc
+
+
+def request_to_wire(
+    request: SolveRequest, *, deadline_s: Optional[float] = None
+) -> dict:
+    """Encode a :class:`SolveRequest` as the documented POST /solve body."""
+    payload: dict = {"graph": graph_to_wire(request.graph)}
+    if request.method != "qaoa":
+        payload["method"] = request.method
+    if request.options:
+        payload["options"] = jsonable(request.options)
+    if request.qaoa_grid is not None:
+        payload["qaoa_grid"] = jsonable(list(request.qaoa_grid))
+    if request.gw_options:
+        payload["gw_options"] = jsonable(request.gw_options)
+    if request.seed is not None:
+        payload["seed"] = int(request.seed)
+    if request.exact:
+        payload["exact"] = True
+    if deadline_s is not None:
+        payload["deadline_s"] = float(deadline_s)
+    return payload
+
+
+def request_from_wire(
+    payload: object, *, max_nodes: int = DEFAULT_MAX_NODES
+) -> Tuple[SolveRequest, Optional[float]]:
+    """Validate and decode a POST /solve body.
+
+    Returns ``(request, deadline_s)``; raises :class:`WireFormatError`
+    on any schema violation (mapped to a 400 by the server, before any
+    shard is touched).
+    """
+    if not isinstance(payload, dict):
+        raise WireFormatError("request body must be a JSON object")
+    unknown = set(payload) - _SOLVE_KEYS
+    if unknown:
+        raise WireFormatError(f"unknown request keys {sorted(unknown)}")
+    if "graph" not in payload:
+        raise WireFormatError("'graph' is required")
+    graph = graph_from_wire(payload["graph"], max_nodes=max_nodes)
+    method = payload.get("method", "qaoa")
+    if not isinstance(method, str):
+        raise WireFormatError("'method' must be a string")
+    options = payload.get("options", {})
+    if not isinstance(options, dict):
+        raise WireFormatError("'options' must be an object")
+    qaoa_grid = payload.get("qaoa_grid")
+    if qaoa_grid is not None:
+        if not isinstance(qaoa_grid, list) or not all(
+            isinstance(point, dict) for point in qaoa_grid
+        ):
+            raise WireFormatError("'qaoa_grid' must be a list of objects")
+    gw_options = payload.get("gw_options", {})
+    if not isinstance(gw_options, dict):
+        raise WireFormatError("'gw_options' must be an object")
+    seed = payload.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise WireFormatError("'seed' must be an integer or null")
+    exact = payload.get("exact", False)
+    if not isinstance(exact, bool):
+        raise WireFormatError("'exact' must be a boolean")
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if isinstance(deadline_s, bool) or not isinstance(
+            deadline_s, (int, float)
+        ):
+            raise WireFormatError("'deadline_s' must be a number")
+        if not (float(deadline_s) > 0):
+            raise WireFormatError("'deadline_s' must be positive")
+        deadline_s = float(deadline_s)
+    request = SolveRequest(
+        graph=graph,
+        method=method,
+        options=dict(options),
+        qaoa_grid=qaoa_grid,
+        gw_options=dict(gw_options),
+        seed=None if seed is None else int(seed),
+        exact=exact,
+    )
+    return request, deadline_s
+
+
+def result_to_wire(result: ServiceResult) -> dict:
+    """Encode a :class:`ServiceResult` as the documented 200 body."""
+    return {
+        "digest": result.digest,
+        "status": result.status,
+        "assignment": [int(bit) for bit in result.assignment],
+        "cut": jsonable(result.cut),
+        "method": result.method,
+        "seed": int(result.seed),
+        "elapsed": float(result.elapsed),
+        "params": None if result.params is None else jsonable(result.params),
+        "extra": jsonable(result.extra),
+    }
+
+
+def result_from_wire(payload: dict) -> ServiceResult:
+    """Decode a 200 body back into a :class:`ServiceResult` (client side)."""
+    try:
+        return ServiceResult(
+            digest=str(payload["digest"]),
+            status=str(payload["status"]),
+            assignment=np.asarray(payload["assignment"], dtype=np.uint8),
+            cut=float(payload["cut"]),
+            method=str(payload["method"]),
+            seed=int(payload["seed"]),
+            elapsed=float(payload["elapsed"]),
+            params=(
+                None
+                if payload.get("params") is None
+                else [float(p) for p in payload["params"]]
+            ),
+            extra=dict(payload.get("extra") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed result payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# The asyncio HTTP server
+# ---------------------------------------------------------------------------
+class _HttpReject(Exception):
+    """Internal: abort the current request with a specific error code."""
+
+    def __init__(self, code: str, message: str, *, close: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = ERROR_CONTRACT[code]
+        self.close = close
+
+
+class _Request:
+    __slots__ = ("method", "path", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str, body: bytes, keep_alive: bool):
+        self.method = method
+        self.path = path
+        self.body = body
+        self.keep_alive = keep_alive
+
+
+class HttpMaxCutServer:
+    """Asyncio HTTP/1.1 front end over one :class:`AsyncMaxCutServer`.
+
+    Knobs
+    -----
+    ``max_body_bytes``     request bodies above this are answered 413
+                           *before* being read or parsed
+    ``max_nodes``          graphs above this node count are answered 400
+    ``default_deadline_s`` per-request deadline applied when the request
+                           body carries none (``None`` = wait forever)
+    ``keepalive_s``        idle seconds before a kept-alive connection
+                           is closed
+
+    Lifecycle: ``await start()`` binds the socket; ``await stop()`` runs
+    the graceful drain (close the listener, finish in-flight responses,
+    then drain the shard queues).  ``serve_forever()`` blocks until
+    :meth:`request_stop` is called (the CLI's signal handler does).
+    """
+
+    def __init__(
+        self,
+        server: AsyncMaxCutServer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        default_deadline_s: Optional[float] = None,
+        keepalive_s: float = DEFAULT_KEEPALIVE_S,
+    ) -> None:
+        if max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be positive")
+        self.server = server
+        self.requested_host = host
+        self.requested_port = port
+        self.max_body_bytes = int(max_body_bytes)
+        self.max_nodes = int(max_nodes)
+        self.default_deadline_s = default_deadline_s
+        self.keepalive_s = float(keepalive_s)
+        self.metrics = ServiceMetrics()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "HttpMaxCutServer":
+        if self._listener is not None:
+            raise RuntimeError("HTTP server already started")
+        self._stop_requested = asyncio.Event()
+        self._listener = await asyncio.start_server(
+            self._handle_connection,
+            host=self.requested_host,
+            port=self.requested_port,
+            # Bounds readline() (request line / header lines); bodies go
+            # through readexactly(), which the limit does not constrain.
+            limit=MAX_HEADER_BYTES + 1024,
+        )
+        sockname = self._listener.sockets[0].getsockname()  # type: ignore[union-attr]
+        self.host, self.port = sockname[0], sockname[1]
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self.host is None or self.port is None:
+            raise RuntimeError("HTTP server is not started")
+        return self.host, self.port
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to return (signal-handler safe)."""
+        if self._stop_requested is not None:
+            self._stop_requested.set()
+
+    async def serve_forever(self) -> None:
+        if self._stop_requested is None:
+            raise RuntimeError("HTTP server is not started")
+        await self._stop_requested.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: listener -> in-flight responses -> shards."""
+        if self._stopped or self._listener is None:
+            return
+        self._stopped = True
+        self.request_stop()
+        # 1. Stop accepting new connections; new submissions on live
+        #    connections are refused via the server's drain flag.
+        self._listener.close()
+        await self._listener.wait_closed()
+        self.server.begin_drain()
+        # 2. Let in-flight request handlers finish writing responses.
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        # 3. Drain the shard queues and shut the workers down.
+        await self.server.stop()
+
+    async def __aenter__(self) -> "HttpMaxCutServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self.metrics.increment("http_disconnects")
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _shutting_down(self) -> bool:
+        return self._stopped or (
+            self._stop_requested is not None and self._stop_requested.is_set()
+        )
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._stop_requested is not None
+        while True:
+            # Race the next-request read against shutdown: an idle
+            # kept-alive connection must not stall the graceful drain for
+            # a full keep-alive timeout.
+            read = asyncio.ensure_future(self._read_request(reader, writer))
+            stop_wait = asyncio.ensure_future(self._stop_requested.wait())
+            try:
+                await asyncio.wait(
+                    {read, stop_wait},
+                    timeout=self.keepalive_s,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                stop_wait.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stop_wait
+            if not read.done():
+                # Idle timeout, or shutdown with no request in progress.
+                read.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await read
+                return
+            try:
+                request = await read
+            except _HttpReject as reject:
+                # Framing-preserving rejections (e.g. a drained oversized
+                # body) may keep the connection; framing-losing ones close.
+                await self._respond_error(
+                    writer, reject, keep_alive=not reject.close
+                )
+                if reject.close:
+                    return
+                continue
+            except ValueError:
+                # Oversized request line / header stream (stream limit).
+                reject = _HttpReject(
+                    "bad-request", "request line or headers too large"
+                )
+                await self._respond_error(writer, reject, keep_alive=False)
+                return
+            if request is None:
+                return  # clean EOF between requests
+            t0 = time.perf_counter()
+            self.metrics.increment("http_requests")
+            keep_alive = request.keep_alive and not self._shutting_down()
+            try:
+                status, payload, headers = await self._dispatch(request)
+            except _HttpReject as reject:
+                keep_alive = keep_alive and not reject.close
+                await self._respond_error(writer, reject, keep_alive=keep_alive)
+                self.metrics.observe("http", time.perf_counter() - t0)
+                if not keep_alive:
+                    return
+                continue
+            except (ConnectionError, asyncio.IncompleteReadError):
+                raise
+            except Exception as exc:  # transport bug: never kill the loop
+                reject = _HttpReject(
+                    "internal-error", f"{type(exc).__name__}: {exc}"
+                )
+                await self._respond_error(writer, reject, keep_alive=False)
+                self.metrics.observe("http", time.perf_counter() - t0)
+                return
+            await self._respond(
+                writer, status, payload, keep_alive=keep_alive, headers=headers
+            )
+            self.metrics.observe("http", time.perf_counter() - t0)
+            if not keep_alive:
+                return
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            parts = line.decode("latin-1").strip().split()
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+            raise _HttpReject("bad-request", "undecodable request line") from None
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpReject(
+                "bad-request", "malformed HTTP request line", close=True
+            )
+        method, target, version = parts
+        headers: Dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise _HttpReject(
+                    "bad-request", "connection closed mid-headers", close=True
+                )
+            header_bytes += len(raw)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _HttpReject("bad-request", "headers too large", close=True)
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpReject(
+                    "bad-request", f"malformed header {name!r}", close=True
+                )
+            headers[name.strip().lower()] = value.strip()
+
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _HttpReject(
+                "bad-request", "chunked request bodies are not supported",
+                close=True,
+            )
+        body = b""
+        length_header = headers.get("content-length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                raise _HttpReject(
+                    "bad-request", "malformed Content-Length", close=True
+                ) from None
+            if length < 0:
+                raise _HttpReject(
+                    "bad-request", "negative Content-Length", close=True
+                )
+            if length > self.max_body_bytes:
+                # Rejected from the Content-Length header alone: the body
+                # is never parsed and no shard is touched.  Moderate
+                # oversends are drained (unread bytes would desynchronise
+                # keep-alive framing and reset the in-flight response);
+                # egregious ones get a close instead.
+                message = (
+                    f"body of {length} bytes exceeds the "
+                    f"{self.max_body_bytes}-byte limit"
+                )
+                expects_continue = (
+                    headers.get("expect", "").lower() == "100-continue"
+                )
+                if expects_continue or length > DISCARD_BYTES_CAP:
+                    raise _HttpReject("payload-too-large", message, close=True)
+                remaining = length
+                while remaining:
+                    chunk = await reader.read(min(65536, remaining))
+                    if not chunk:
+                        raise _HttpReject(
+                            "payload-too-large", message, close=True
+                        )
+                    remaining -= len(chunk)
+                raise _HttpReject("payload-too-large", message)
+            if length:
+                if headers.get("expect", "").lower() == "100-continue":
+                    writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    await writer.drain()
+                body = await reader.readexactly(length)
+
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        return _Request(method.upper(), target.split("?", 1)[0], body, keep_alive)
+
+    # -- routing -------------------------------------------------------
+    async def _dispatch(
+        self, request: _Request
+    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        allowed = ROUTES.get(request.path)
+        if allowed is None:
+            raise _HttpReject("not-found", f"unknown path {request.path!r}")
+        if request.method != allowed:
+            raise _HttpReject(
+                "method-not-allowed",
+                f"{request.path} only supports {allowed}",
+            )
+        if request.path == "/healthz":
+            return 200, self._healthz_payload(), ()
+        if request.path == "/stats":
+            return 200, self._stats_payload(), ()
+        return await self._solve(request.body)
+
+    def _healthz_payload(self) -> dict:
+        return {
+            "status": "draining" if self.server.draining else "ok",
+            "shards": self.server.router.n_shards,
+        }
+
+    def _stats_payload(self) -> dict:
+        return {
+            "shards": self.server.router.n_shards,
+            "draining": self.server.draining,
+            "loads": [int(load) for load in self.server.router.loads],
+            "metrics": self.server.merged_metrics().json_snapshot(),
+            "http": self.metrics.json_snapshot(),
+        }
+
+    async def _solve(
+        self, body: bytes
+    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpReject("bad-request", f"invalid JSON body: {exc}") from exc
+        try:
+            request, deadline_s = request_from_wire(
+                payload, max_nodes=self.max_nodes
+            )
+        except WireFormatError as exc:
+            raise _HttpReject("bad-request", str(exc)) from exc
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        try:
+            future = self.server.submit(request=request)
+        except ServerOverloaded as exc:
+            raise _HttpReject("overloaded", str(exc)) from exc
+        try:
+            # shield(): a deadline must abandon *this response*, never the
+            # underlying solve — coalesced followers and the in-flight
+            # table keep their owner.
+            result = await asyncio.wait_for(
+                asyncio.shield(future), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
+            self.metrics.increment("http_deadline_exceeded")
+            raise _HttpReject(
+                "deadline-exceeded",
+                f"deadline of {deadline_s}s elapsed before the solve finished",
+            ) from None
+        except ServerOverloaded as exc:  # shed while queued
+            raise _HttpReject("overloaded", str(exc)) from exc
+        except RequestError as exc:  # batch-level failure below capture
+            raise _HttpReject("solve-failed", str(exc)) from exc
+        if result.failed:
+            return (
+                502,
+                {
+                    "error": str(result.extra.get("error", "solve failed")),
+                    "code": "solve-failed",
+                    "digest": result.digest,
+                    "status": result.status,
+                    "method": result.method,
+                    "seed": int(result.seed),
+                    "elapsed": float(result.elapsed),
+                },
+                (),
+            )
+        return 200, result_to_wire(result), ()
+
+    # -- response writing ----------------------------------------------
+    async def _respond_error(
+        self,
+        writer: asyncio.StreamWriter,
+        reject: _HttpReject,
+        *,
+        keep_alive: bool,
+    ) -> None:
+        headers = (
+            (("Retry-After", str(RETRY_AFTER_S)),)
+            if reject.status == ERROR_CONTRACT["overloaded"]
+            else ()
+        )
+        await self._respond(
+            writer,
+            reject.status,
+            {"error": str(reject), "code": reject.code},
+            keep_alive=keep_alive and not reject.close,
+            headers=headers,
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        keep_alive: bool,
+        headers: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        self.metrics.increment(f"http_{status}")
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Sync harnesses: CLI driver and a background-thread server for tests
+# ---------------------------------------------------------------------------
+def serve_http(
+    host: str,
+    port: int,
+    *,
+    http_options: Optional[dict] = None,
+    install_signal_handlers: bool = True,
+    ready: Optional[threading.Event] = None,
+    **server_options,
+) -> None:
+    """Run the HTTP front end until SIGINT/SIGTERM, then drain gracefully.
+
+    The blocking driver behind ``python -m repro serve --http HOST:PORT``.
+    Prints the bound address (``port=0`` picks a free port) and, after a
+    clean drain, the merged shard stats report.
+    """
+    import signal
+
+    async def run() -> AsyncMaxCutServer:
+        async with AsyncMaxCutServer(**server_options) as server:
+            http_server = HttpMaxCutServer(
+                server, host=host, port=port, **(http_options or {})
+            )
+            await http_server.start()
+            if install_signal_handlers:
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    with contextlib.suppress(NotImplementedError):
+                        loop.add_signal_handler(
+                            signum, http_server.request_stop
+                        )
+            bound_host, bound_port = http_server.address
+            print(f"listening on http://{bound_host}:{bound_port}", flush=True)
+            if ready is not None:
+                ready.set()
+            try:
+                await http_server.serve_forever()
+                print("shutdown requested — draining", flush=True)
+            finally:
+                await http_server.stop()
+        return server
+
+    server = asyncio.run(run())
+    print()
+    print(server.stats_report())
+
+
+class HttpServerThread:
+    """A full HTTP + AsyncMaxCutServer stack on a background thread.
+
+    The sync-world harness used by the benchmark, the example and the
+    test suite: the event loop (shard workers + HTTP listener) runs in a
+    daemon thread; the caller gets ``host``/``port`` to point blocking
+    clients at, and ``stop()`` runs the graceful drain.
+
+    ::
+
+        with HttpServerThread(n_shards=2, seed=0) as handle:
+            client = HttpMaxCutClient(handle.host, handle.port)
+            result = client.solve(graph, layers=2)
+    """
+
+    def __init__(
+        self, *, host: str = "127.0.0.1", port: int = 0,
+        http_options: Optional[dict] = None, **server_options,
+    ) -> None:
+        self._host_requested = host
+        self._port_requested = port
+        self._http_options = dict(http_options or {})
+        self._server_options = dict(server_options)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.server: Optional[AsyncMaxCutServer] = None
+        self.http: Optional[HttpMaxCutServer] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="maxcut-http-server", daemon=True
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "HttpServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._error is not None:
+            raise RuntimeError("HTTP server thread failed to start") from self._error
+        if not self._ready.is_set():
+            raise RuntimeError("HTTP server thread did not come up in 60s")
+        return self
+
+    def stop(self) -> None:
+        """Request the graceful drain and join the server thread."""
+        if self._loop is not None and self.http is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self.http.request_stop)
+        self._thread.join(timeout=120)
+        if self._error is not None:
+            raise RuntimeError("HTTP server thread crashed") from self._error
+
+    def __enter__(self) -> "HttpServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def merged_metrics(self) -> ServiceMetrics:
+        if self.server is None:
+            raise RuntimeError("server thread was never started")
+        return self.server.merged_metrics()
+
+    # -- internals -----------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # surfaced to the caller in start()/stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        async with AsyncMaxCutServer(**self._server_options) as server:
+            self.server = server
+            http_server = HttpMaxCutServer(
+                server,
+                host=self._host_requested,
+                port=self._port_requested,
+                **self._http_options,
+            )
+            await http_server.start()
+            self.http = http_server
+            self.host, self.port = http_server.address
+            self._ready.set()
+            try:
+                await http_server.serve_forever()
+            finally:
+                await http_server.stop()
+
+
+__all__ = [
+    "DEFAULT_KEEPALIVE_S",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_NODES",
+    "ERROR_CONTRACT",
+    "HttpMaxCutServer",
+    "HttpServerThread",
+    "RETRY_AFTER_S",
+    "ROUTES",
+    "WireFormatError",
+    "graph_from_wire",
+    "graph_to_wire",
+    "jsonable",
+    "request_from_wire",
+    "request_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+    "serve_http",
+]

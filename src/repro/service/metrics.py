@@ -166,6 +166,29 @@ class ServiceMetrics:
             },
         }
 
+    def json_snapshot(self) -> Dict[str, object]:
+        """Like :meth:`snapshot`, but strictly JSON-serialisable.
+
+        Empty histograms report NaN/±inf sentinels (min/max/percentiles);
+        strict JSON has no encoding for those, so they become ``None``
+        here.  This is the payload behind the HTTP ``GET /stats``
+        endpoint (:mod:`repro.service.http`).
+        """
+
+        def clean(value: object) -> object:
+            if isinstance(value, float) and not np.isfinite(value):
+                return None
+            return value
+
+        snap = self.snapshot()
+        return {
+            "counters": snap["counters"],
+            "latencies": {
+                name: {key: clean(val) for key, val in summary.items()}
+                for name, summary in snap["latencies"].items()  # type: ignore[union-attr]
+            },
+        }
+
     # ------------------------------------------------------------------
     @classmethod
     def merged(cls, parts: Iterable["ServiceMetrics"]) -> "ServiceMetrics":

@@ -182,6 +182,7 @@ class AsyncMaxCutServer:
         self._queues: List[asyncio.Queue] = []
         self._workers: List[asyncio.Task] = []
         self._started = False
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -200,15 +201,35 @@ class AsyncMaxCutServer:
         self._started = True
         return self
 
+    def begin_drain(self) -> None:
+        """Stop admitting new submissions; queued/in-flight work continues.
+
+        The graceful-shutdown hook the HTTP front end uses: after this,
+        :meth:`submit` raises :class:`ServerOverloaded` immediately (so a
+        load balancer retries elsewhere) while everything already admitted
+        still resolves.  :meth:`stop` calls it implicitly.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Wait until every admitted submission has been resolved."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
     async def stop(self) -> None:
         """Drain every queue, then shut the shard workers down."""
         if not self._started:
             return
-        await asyncio.gather(*(queue.join() for queue in self._queues))
+        self.begin_drain()
+        await self.drain()
         for worker in self._workers:
             worker.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._started = False
+        self._draining = False
 
     async def __aenter__(self) -> "AsyncMaxCutServer":
         return await self.start()
@@ -236,6 +257,8 @@ class AsyncMaxCutServer:
         """
         if not self._started:
             raise RuntimeError("server is not started (use 'async with' or start())")
+        if self._draining:
+            raise ServerOverloaded("server is draining (shutdown in progress)")
         request = build_request(graph, request=request, **options)
         loop = asyncio.get_running_loop()
 

@@ -1,0 +1,132 @@
+"""HttpMaxCutClient behaviour: exception mapping, keep-alive retry after
+server-side idle close, calling styles, lifecycle (ISSUE 8)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.service import (
+    HttpMaxCutClient,
+    HttpResponseError,
+    MaxCutService,
+    RequestError,
+    ServerOverloaded,
+    build_request,
+)
+from repro.service.http import RETRY_AFTER_S, HttpServerThread
+
+pytestmark = pytest.mark.timeout(120)
+
+OPTIONS = {"layers": 1, "maxiter": 15}
+
+
+# ---------------------------------------------------------------------------
+# Exception mapping (the wire -> exception half of the error contract)
+# ---------------------------------------------------------------------------
+class TestRaiseFor:
+    def client(self):
+        return HttpMaxCutClient("localhost", 1)  # never connected
+
+    def test_overloaded_maps_to_server_overloaded(self):
+        client = self.client()
+        with pytest.raises(ServerOverloaded) as excinfo:
+            client._raise_for(503, {"code": "overloaded", "error": "full"})
+        # No Retry-After header seen -> the documented default.
+        assert excinfo.value.retry_after == float(RETRY_AFTER_S)
+
+    def test_retry_after_header_is_parsed(self):
+        client = self.client()
+        client.last_headers = {"Retry-After": "7"}
+        with pytest.raises(ServerOverloaded) as excinfo:
+            client._raise_for(503, {"code": "overloaded", "error": "full"})
+        assert excinfo.value.retry_after == 7.0
+
+    def test_solve_failed_maps_to_request_error(self):
+        with pytest.raises(RequestError, match="boom"):
+            self.client()._raise_for(502, {"code": "solve-failed", "error": "boom"})
+
+    def test_anything_else_is_http_response_error(self):
+        with pytest.raises(HttpResponseError) as excinfo:
+            self.client()._raise_for(418, {"code": "teapot", "error": "short"})
+        error = excinfo.value
+        assert error.status == 418
+        assert error.code == "teapot"
+        assert error.payload == {"code": "teapot", "error": "short"}
+        assert "HTTP 418 [teapot]: short" in str(error)
+
+    def test_payload_without_code_still_raises(self):
+        with pytest.raises(HttpResponseError) as excinfo:
+            self.client()._raise_for(500, {})
+        assert excinfo.value.code == "unknown"
+
+
+# ---------------------------------------------------------------------------
+# Calling styles
+# ---------------------------------------------------------------------------
+class TestCallingStyles:
+    def test_prebuilt_request_equals_graph_plus_options(self):
+        graph = erdos_renyi(10, 0.4, weighted=True, rng=3)
+        request = build_request(graph, seed=4, **OPTIONS)
+        with HttpServerThread(n_shards=1, seed=0) as handle:
+            with HttpMaxCutClient(handle.host, handle.port) as client:
+                via_request = client.solve(request=request)
+                via_options = client.solve(graph, seed=4, **OPTIONS)
+        assert via_request.digest == via_options.digest
+        assert via_request.cut == via_options.cut
+        assert np.array_equal(via_request.assignment, via_options.assignment)
+
+    def test_neither_graph_nor_request_raises(self):
+        client = HttpMaxCutClient("localhost", 1)
+        with pytest.raises(ValueError, match="graph or a request"):
+            client.solve()
+
+    def test_both_graph_and_request_raises(self):
+        graph = erdos_renyi(6, 0.5, weighted=True, rng=0)
+        client = HttpMaxCutClient("localhost", 1)
+        with pytest.raises(ValueError, match="not both"):
+            client.solve(graph, request=build_request(graph))
+
+
+# ---------------------------------------------------------------------------
+# Connection lifecycle
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_context_manager_closes_connection(self):
+        with HttpServerThread(n_shards=1, seed=0) as handle:
+            with HttpMaxCutClient(handle.host, handle.port) as client:
+                client.healthz()
+                assert client._conn is not None
+            assert client._conn is None
+
+    def test_retry_after_server_side_idle_close(self):
+        # The server reaps idle kept-alive connections after keepalive_s;
+        # the client must transparently retry once on the stale socket
+        # instead of surfacing a connection error.
+        with HttpServerThread(
+            n_shards=1, seed=0, http_options={"keepalive_s": 0.3}
+        ) as handle:
+            with HttpMaxCutClient(handle.host, handle.port) as client:
+                assert client.healthz()["status"] == "ok"
+                time.sleep(1.0)  # server closes the idle connection
+                assert client.healthz()["status"] == "ok"
+
+    def test_last_headers_recorded(self):
+        with HttpServerThread(n_shards=1, seed=0) as handle:
+            with HttpMaxCutClient(handle.host, handle.port) as client:
+                client.healthz()
+                assert client.last_headers.get("Content-Type") == "application/json"
+
+    def test_solve_result_types_decode(self):
+        graph = erdos_renyi(9, 0.4, weighted=True, rng=6)
+        ref = MaxCutService(seed=0).solve(graph, seed=2, **OPTIONS)
+        with HttpServerThread(n_shards=1, seed=0) as handle:
+            with HttpMaxCutClient(handle.host, handle.port) as client:
+                result = client.solve(graph, seed=2, **OPTIONS)
+        assert result.assignment.dtype == np.uint8
+        assert isinstance(result.cut, float)
+        assert isinstance(result.seed, int)
+        assert result.cut == ref.cut

@@ -1,0 +1,113 @@
+"""Docs cannot drift: the error table in docs/http-api.md must equal
+ERROR_CONTRACT, every endpoint must be documented, the README package
+map must cover the tree, and the docs-check tool must pass (ISSUE 8)."""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.http import ERROR_CONTRACT, RETRY_AFTER_S, ROUTES
+
+pytestmark = pytest.mark.timeout(120)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HTTP_API_MD = REPO_ROOT / "docs" / "http-api.md"
+ARCHITECTURE_MD = REPO_ROOT / "docs" / "architecture.md"
+README_MD = REPO_ROOT / "README.md"
+
+# Rows of the error-contract table: | `code` | 400 | meaning |
+ERROR_ROW_RE = re.compile(r"^\|\s*`([a-z-]+)`\s*\|\s*(\d{3})\s*\|", re.MULTILINE)
+
+
+class TestHttpApiDoc:
+    def test_error_table_matches_error_contract_exactly(self):
+        documented = {
+            code: int(status)
+            for code, status in ERROR_ROW_RE.findall(HTTP_API_MD.read_text())
+        }
+        assert documented == ERROR_CONTRACT, (
+            "docs/http-api.md error table drifted from "
+            "repro.service.http.ERROR_CONTRACT — update both together"
+        )
+
+    def test_every_route_is_documented(self):
+        text = HTTP_API_MD.read_text()
+        for path, method in ROUTES.items():
+            assert f"`{path}`" in text, f"{path} missing from docs/http-api.md"
+            assert method in text
+
+    def test_retry_after_value_is_documented(self):
+        assert f"`Retry-After: {RETRY_AFTER_S}`" in HTTP_API_MD.read_text()
+
+    def test_solve_schema_fields_are_documented(self):
+        text = HTTP_API_MD.read_text()
+        for field in (
+            "graph",
+            "method",
+            "options",
+            "qaoa_grid",
+            "gw_options",
+            "seed",
+            "exact",
+            "deadline_s",
+        ):
+            assert f"`{field}`" in text, f"request field {field} undocumented"
+
+
+class TestArchitectureDoc:
+    def test_lifecycle_stages_are_described(self):
+        text = ARCHITECTURE_MD.read_text()
+        for stage in (
+            "repro.service.http",
+            "repro.service.server",
+            "repro.service.service",
+            "fingerprint",
+            "admission",
+            "SweepEngine",
+            "backend",
+        ):
+            assert stage in text, f"architecture.md missing stage {stage!r}"
+
+
+class TestReadme:
+    def test_package_map_covers_every_subpackage(self):
+        readme = README_MD.read_text()
+        packages = sorted(
+            child.name
+            for child in (REPO_ROOT / "src" / "repro").iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        )
+        assert packages, "no subpackages found under src/repro"
+        missing = [n for n in packages if f"repro.{n}" not in readme]
+        assert not missing, f"README package map missing {missing}"
+
+    def test_readme_links_the_sub_readmes_and_tier1(self):
+        readme = README_MD.read_text()
+        for link in (
+            "src/repro/service/README.md",
+            "src/repro/quantum/README.md",
+            "src/repro/analysis/README.md",
+            "benchmarks/README.md",
+            "docs/architecture.md",
+            "docs/http-api.md",
+        ):
+            assert link in readme, f"README missing link to {link}"
+        assert "python -m pytest -x -q" in readme
+
+
+class TestDocsCheckTool:
+    def test_check_docs_passes(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            timeout=60,
+            check=False,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,215 @@
+"""JSON wire codecs for the HTTP transport: graph/request/result schemas,
+strict validation, and the error-contract table itself (ISSUE 8)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi
+from repro.service import MaxCutService, build_request
+from repro.service.http import (
+    ERROR_CONTRACT,
+    ROUTES,
+    WireFormatError,
+    graph_from_wire,
+    graph_to_wire,
+    jsonable,
+    request_from_wire,
+    request_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+pytestmark = pytest.mark.timeout(120)
+
+
+# ---------------------------------------------------------------------------
+# jsonable: everything the service emits must survive strict JSON
+# ---------------------------------------------------------------------------
+class TestJsonable:
+    def test_numpy_scalars_become_builtins(self):
+        out = jsonable({"a": np.int64(3), "b": np.float64(2.5), "c": np.bool_(True)})
+        assert out == {"a": 3, "b": 2.5, "c": True}
+        assert type(out["a"]) is int
+        assert type(out["b"]) is float
+
+    def test_arrays_become_lists(self):
+        assert jsonable(np.arange(3)) == [0, 1, 2]
+        assert jsonable((1, np.float32(2.0))) == [1, 2.0]
+
+    def test_non_finite_floats_become_none(self):
+        assert jsonable(float("nan")) is None
+        assert jsonable({"x": np.inf, "y": -np.inf}) == {"x": None, "y": None}
+
+    def test_bools_are_not_coerced_to_int(self):
+        assert jsonable(True) is True
+        assert jsonable({"flag": False}) == {"flag": False}
+
+    def test_output_is_strict_json(self):
+        payload = jsonable({"cut": np.nan, "params": np.array([1.5, np.inf])})
+        encoded = json.dumps(payload, allow_nan=False)  # raises on NaN leaks
+        assert json.loads(encoded) == {"cut": None, "params": [1.5, None]}
+
+
+# ---------------------------------------------------------------------------
+# Graph schema
+# ---------------------------------------------------------------------------
+class TestGraphWire:
+    def test_round_trip_preserves_weights(self):
+        graph = erdos_renyi(12, 0.4, weighted=True, rng=3)
+        back = graph_from_wire(graph_to_wire(graph))
+        assert back.n_nodes == graph.n_nodes
+        assert np.array_equal(back.u, graph.u)
+        assert np.array_equal(back.v, graph.v)
+        assert np.allclose(back.w, graph.w)
+
+    def test_wire_shape_is_documented_schema(self):
+        graph = erdos_renyi(6, 0.5, weighted=True, rng=0)
+        wire = graph_to_wire(graph)
+        assert set(wire) == {"n_nodes", "edges"}
+        assert all(len(edge) == 3 for edge in wire["edges"])
+
+    def test_edges_default_weight_one(self):
+        graph = graph_from_wire({"n_nodes": 3, "edges": [[0, 1], [1, 2, 2.5]]})
+        assert np.allclose(sorted(graph.w), [1.0, 2.5])
+
+    def test_empty_graph(self):
+        graph = graph_from_wire({"n_nodes": 0, "edges": []})
+        assert graph.n_nodes == 0 and graph.n_edges == 0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not a dict",
+            {"edges": []},  # n_nodes missing
+            {"n_nodes": "4", "edges": []},
+            {"n_nodes": True, "edges": []},
+            {"n_nodes": -1, "edges": []},
+            {"n_nodes": 4, "edges": [], "extra": 1},
+            {"n_nodes": 4, "edges": "nope"},
+            {"n_nodes": 4, "edges": [[0]]},
+            {"n_nodes": 4, "edges": [[0, 1, 2, 3]]},
+            {"n_nodes": 4, "edges": [[0.5, 1]]},
+            {"n_nodes": 4, "edges": [[0, True]]},
+            {"n_nodes": 4, "edges": [[0, 1, "heavy"]]},
+            {"n_nodes": 4, "edges": [[0, 1, float("inf")]]},
+            {"n_nodes": 4, "edges": [[0, 9]]},  # endpoint out of range
+        ],
+    )
+    def test_invalid_graph_rejected(self, payload):
+        with pytest.raises(WireFormatError):
+            graph_from_wire(payload)
+
+    def test_max_nodes_cap(self):
+        with pytest.raises(WireFormatError, match="service limit"):
+            graph_from_wire({"n_nodes": 100, "edges": []}, max_nodes=50)
+
+
+# ---------------------------------------------------------------------------
+# Request schema
+# ---------------------------------------------------------------------------
+class TestRequestWire:
+    def test_round_trip_full_request(self):
+        graph = erdos_renyi(10, 0.4, weighted=True, rng=1)
+        request = build_request(
+            graph,
+            method="qaoa",
+            layers=2,
+            maxiter=30,
+            seed=7,
+        )
+        wire = request_to_wire(request, deadline_s=1.5)
+        back, deadline_s = request_from_wire(wire)
+        assert deadline_s == 1.5
+        assert back.method == request.method
+        assert back.options == request.options
+        assert back.seed == request.seed
+        assert back.exact == request.exact
+        # Identical digests: the wire hop is invisible to the cache.
+        probe = MaxCutService(seed=0)
+        assert probe.describe(back).digest == probe.describe(request).digest
+
+    def test_defaults_are_omitted_from_the_wire(self):
+        graph = erdos_renyi(8, 0.4, weighted=True, rng=2)
+        wire = request_to_wire(build_request(graph))
+        assert set(wire) == {"graph"}
+
+    def test_minimal_request_decodes(self):
+        request, deadline_s = request_from_wire(
+            {"graph": {"n_nodes": 2, "edges": [[0, 1]]}}
+        )
+        assert request.method == "qaoa"
+        assert request.options == {}
+        assert request.seed is None
+        assert deadline_s is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],  # not an object
+            {},  # graph missing
+            {"graph": {"n_nodes": 2, "edges": []}, "surprise": 1},
+            {"graph": {"n_nodes": 2, "edges": []}, "method": 7},
+            {"graph": {"n_nodes": 2, "edges": []}, "options": []},
+            {"graph": {"n_nodes": 2, "edges": []}, "qaoa_grid": {"p": 1}},
+            {"graph": {"n_nodes": 2, "edges": []}, "qaoa_grid": [1, 2]},
+            {"graph": {"n_nodes": 2, "edges": []}, "gw_options": 0},
+            {"graph": {"n_nodes": 2, "edges": []}, "seed": "5"},
+            {"graph": {"n_nodes": 2, "edges": []}, "seed": True},
+            {"graph": {"n_nodes": 2, "edges": []}, "exact": "yes"},
+            {"graph": {"n_nodes": 2, "edges": []}, "deadline_s": "soon"},
+            {"graph": {"n_nodes": 2, "edges": []}, "deadline_s": 0},
+            {"graph": {"n_nodes": 2, "edges": []}, "deadline_s": -1.0},
+        ],
+    )
+    def test_invalid_request_rejected(self, payload):
+        with pytest.raises(WireFormatError):
+            request_from_wire(payload)
+
+
+# ---------------------------------------------------------------------------
+# Result schema
+# ---------------------------------------------------------------------------
+class TestResultWire:
+    def test_round_trip_preserves_solution(self):
+        graph = erdos_renyi(10, 0.4, weighted=True, rng=5)
+        result = MaxCutService(seed=0).solve(graph, seed=3, layers=1, maxiter=15)
+        back = result_from_wire(json.loads(json.dumps(result_to_wire(result))))
+        assert back.digest == result.digest
+        assert back.status == result.status
+        assert back.cut == result.cut
+        assert np.array_equal(back.assignment, result.assignment)
+        assert back.seed == result.seed
+        assert back.method == result.method
+
+    def test_malformed_result_payload(self):
+        with pytest.raises(WireFormatError, match="malformed result"):
+            result_from_wire({"digest": "abc"})
+
+
+# ---------------------------------------------------------------------------
+# The protocol tables themselves
+# ---------------------------------------------------------------------------
+class TestProtocolTables:
+    def test_error_contract_statuses_are_unique_http_errors(self):
+        statuses = list(ERROR_CONTRACT.values())
+        assert len(set(statuses)) == len(statuses)
+        assert all(400 <= status <= 599 for status in statuses)
+
+    def test_error_contract_is_the_documented_set(self):
+        assert ERROR_CONTRACT == {
+            "bad-request": 400,
+            "not-found": 404,
+            "method-not-allowed": 405,
+            "payload-too-large": 413,
+            "internal-error": 500,
+            "solve-failed": 502,
+            "overloaded": 503,
+            "deadline-exceeded": 504,
+        }
+
+    def test_route_table(self):
+        assert ROUTES == {"/solve": "POST", "/healthz": "GET", "/stats": "GET"}

@@ -1,0 +1,71 @@
+"""Docs gate: relative links must resolve, the README package map must
+cover every subpackage.
+
+Checks, over README.md and docs/*.md:
+
+* every relative markdown link ``[text](path)`` points at a file or
+  directory that exists (anchors and external ``http(s):``/``mailto:``
+  links are ignored);
+* every subpackage under ``src/repro/`` is mentioned in README.md, so
+  the package map cannot silently fall behind the tree.
+
+Exit 1 with one line per failure; wired into the CI lint job and run as
+a test by ``tests/test_http_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files() -> list[Path]:
+    return [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    for target in LINK_RE.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return failures
+
+
+def check_package_map() -> list[str]:
+    readme = (REPO_ROOT / "README.md").read_text()
+    packages = sorted(
+        child.name
+        for child in (REPO_ROOT / "src" / "repro").iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    )
+    return [
+        f"README.md: package map is missing `repro.{name}`"
+        for name in packages
+        if f"repro.{name}" not in readme
+    ]
+
+
+def main() -> int:
+    failures: list[str] = []
+    for path in doc_files():
+        if not path.exists():
+            failures.append(f"missing documentation file: {path.name}")
+            continue
+        failures.extend(check_links(path))
+    failures.extend(check_package_map())
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(f"docs-check: {len(doc_files())} files ok, all links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
