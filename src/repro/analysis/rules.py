@@ -666,7 +666,61 @@ class SwallowedErrorRule(Rule):
 
 
 # ----------------------------------------------------------------------
-# 8. suppression-hygiene (meta-rule: the analyzer polices its own escapes)
+# 8. span-hygiene (observability PR)
+# ----------------------------------------------------------------------
+
+
+@register_rule
+class SpanHygieneRule(Rule):
+    name = "span-hygiene"
+    description = (
+        "Every trace `.span(...)` call must be a `with`-item: span "
+        "handles close on `__exit__`, so a bare call leaks an open span "
+        "and corrupts the trace's open-span stack.  Already-elapsed "
+        "intervals use TraceContext.add_span, which never opens anything."
+    )
+    invariant = "observability PR (span trees stay well-nested)"
+
+    def check(self, file: SourceFile, ctx: AnalysisContext) -> Iterator[Finding]:
+        with_items: Set[int] = set()
+        for node in ast.walk(file.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "span"):
+                continue
+            if id(node) in with_items:
+                continue
+            if not self._looks_like_trace_span(node):
+                continue
+            yield file.finding(
+                self.name,
+                node.lineno,
+                ".span(...) outside a with-statement leaks an open span; "
+                "use `with trace.span(...):` (or add_span for elapsed "
+                "intervals)",
+            )
+
+    @staticmethod
+    def _looks_like_trace_span(call: ast.Call) -> bool:
+        """A trace span call names its stage: first arg is a string
+        constant, or attributes are attached as keywords.  (This keeps
+        ``re.Match.span()`` / ``match.span(1)`` out of scope.)"""
+        if call.keywords:
+            return True
+        return bool(
+            call.args
+            and isinstance(call.args[0], ast.Constant)
+            and isinstance(call.args[0].value, str)
+        )
+
+
+# ----------------------------------------------------------------------
+# 9. suppression-hygiene (meta-rule: the analyzer polices its own escapes)
 # ----------------------------------------------------------------------
 
 
@@ -741,6 +795,7 @@ __all__ = [
     "GuardedByRule",
     "LayeringRule",
     "RngDisciplineRule",
+    "SpanHygieneRule",
     "SuppressionHygieneRule",
     "SwallowedErrorRule",
 ]

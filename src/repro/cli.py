@@ -10,7 +10,10 @@ writing Python:
 * ``hetjobs``       — the Fig. 1 workload-manager comparison
 * ``coordinator``   — the Fig. 2 coordinator/worker scaling run
 * ``service-stats`` — run a Zipf request stream through MaxCutService and
-  print its counters / latency histograms / cache report
+  print its counters / latency histograms / cache report (``--json`` for
+  machine-readable output, ``--trace`` for the per-stage span breakdown)
+* ``trace``         — run a traced Zipf stream and pretty-print the last
+  N request span trees (vocabulary in docs/observability.md)
 * ``serve``         — drive the same stream through the async sharded
   front end (AsyncMaxCutServer): concurrent clients, in-flight
   coalescing, per-shard queues; prints the merged shard report.  With
@@ -150,9 +153,13 @@ def cmd_scaling(args: argparse.Namespace) -> int:
 
 
 def cmd_service_stats(args: argparse.Namespace) -> int:
+    import json
+
     from repro.service import MaxCutService, zipf_requests
 
-    service = MaxCutService(seed=args.seed, disk_dir=args.disk_dir)
+    service = MaxCutService(
+        seed=args.seed, disk_dir=args.disk_dir, tracing=args.trace
+    )
     requests = zipf_requests(
         n_requests=args.requests,
         universe=args.universe,
@@ -164,6 +171,17 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
         rng=args.seed,
     )
     results = service.solve_many(requests)
+    if args.json:
+        payload = {
+            "requests": len(results),
+            "universe": args.universe,
+            "zipf": args.zipf,
+            "metrics": service.metrics.json_snapshot(),
+        }
+        if service.traces is not None:
+            payload["trace_stages"] = service.traces.stage_summary()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(
         f"served {len(results)} requests over {args.universe} distinct "
         f"graphs (zipf s={args.zipf})"
@@ -183,6 +201,35 @@ def cmd_service_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.service import MaxCutService, zipf_requests
+    from repro.service.trace import TraceRecorder
+
+    recorder = TraceRecorder(
+        jsonl_path=args.jsonl,
+        slow_threshold_s=(
+            None if args.slow_ms is None else args.slow_ms / 1e3
+        ),
+    )
+    service = MaxCutService(seed=args.seed, traces=recorder)
+    requests = zipf_requests(
+        n_requests=args.requests,
+        universe=args.universe,
+        n_nodes=args.nodes,
+        edge_prob=args.edge_prob,
+        zipf_exponent=args.zipf,
+        options={"layers": args.layers, "maxiter": args.maxiter,
+                 "backend": args.backend},
+        rng=args.seed,
+    )
+    service.solve_many(requests)
+    for trace in recorder.last(args.last):
+        print(trace.format_tree())
+        print()
+    print(recorder.format_stage_table())
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     if args.http is not None:
         from repro.service import serve_http
@@ -194,6 +241,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         serve_http(
             host,
             int(port_text),
+            http_options={"tracing": True} if args.trace else None,
             n_shards=args.shards,
             seed=args.seed,
             queue_depth=args.queue_depth,
@@ -345,7 +393,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--backend", choices=_backend_choices(), default="auto",
                          help="statevector evolution backend for QAOA solves")
     p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument("--json", action="store_true",
+                         help="print a machine-readable JSON snapshot "
+                              "instead of the text report")
+    p_stats.add_argument("--trace", action="store_true",
+                         help="trace every request and include the "
+                              "per-stage span breakdown in the report")
     p_stats.set_defaults(func=cmd_service_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced Zipf stream and pretty-print the last N "
+             "request span trees",
+    )
+    p_trace.add_argument("--last", type=int, default=3,
+                         help="number of most recent span trees to print")
+    p_trace.add_argument("--requests", type=int, default=12)
+    p_trace.add_argument("--universe", type=int, default=4,
+                         help="number of distinct graphs in the stream")
+    p_trace.add_argument("--nodes", type=int, default=12)
+    p_trace.add_argument("--edge-prob", type=float, default=0.3)
+    p_trace.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf exponent of the request popularity")
+    p_trace.add_argument("--layers", type=int, default=2)
+    p_trace.add_argument("--maxiter", type=int, default=30)
+    p_trace.add_argument("--jsonl", type=str, default=None,
+                         help="append finished traces to this JSONL file")
+    p_trace.add_argument("--slow-ms", type=float, default=None,
+                         help="log span trees of requests slower than "
+                              "this many milliseconds")
+    p_trace.add_argument("--backend", choices=_backend_choices(), default="auto",
+                         help="statevector evolution backend for QAOA solves")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_serve = sub.add_parser(
         "serve",
@@ -387,6 +467,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "after this many loose writes")
     p_serve.add_argument("--backend", choices=_backend_choices(), default="auto",
                          help="statevector evolution backend for QAOA solves")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="with --http: trace each request "
+                              "(X-Repro-Trace header, GET /trace/<id>)")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(func=cmd_serve)
 

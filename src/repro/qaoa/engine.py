@@ -79,6 +79,7 @@ from repro.quantum.backend import (
     resolve_backend,
     shared_pool,
 )
+from repro.util.tracing import current_trace
 
 DEFAULT_CHUNK_SIZE = 64
 # Target working set for one evaluation chunk (states + scratch): sized so
@@ -160,7 +161,10 @@ class SweepEngine:
         statevector tier — caller-provided diagonals are validated and
         shared eagerly)."""
         if self._diagonal is None:
-            self._diagonal = cut_diagonal(self.graph)
+            # Span hook: the diagonal build is the dominant setup cost of
+            # a cold solve (O(E · 2**n)) and worth seeing in a trace.
+            with current_trace().span("cut_diagonal", n_qubits=self.n_qubits):
+                self._diagonal = cut_diagonal(self.graph)
         return self._diagonal
 
     @property
@@ -192,7 +196,12 @@ class SweepEngine:
     def _evolve_chunk(self, mat: np.ndarray) -> np.ndarray:
         """Evolve one chunk of parameter rows; returns the pooled state
         buffer (valid until the next engine call on the same pool)."""
-        return self.backend.evolve_batch(self.diagonal, mat, pool=self.pool)
+        # The engine-chunk span: with tracing disabled (the default) the
+        # contextvar holds NO_TRACE and this costs one no-op call.
+        with current_trace().span(
+            "evolve_chunk", rows=mat.shape[0], backend=self.backend.name
+        ):
+            return self.backend.evolve_batch(self.diagonal, mat, pool=self.pool)
 
     # ------------------------------------------------------------------
     def energies(self, params_matrix: np.ndarray) -> np.ndarray:
@@ -202,6 +211,10 @@ class SweepEngine:
         bounded for arbitrarily large sweeps.
         """
         mat = self._params_matrix(params_matrix)
+        current_trace().annotate(
+            chunk_count=-(-mat.shape[0] // self.chunk_size),
+            chunk_size=self.chunk_size,
+        )
         out = np.empty(mat.shape[0], dtype=np.float64)
         for start in range(0, mat.shape[0], self.chunk_size):
             stop = min(start + self.chunk_size, mat.shape[0])
@@ -357,7 +370,10 @@ class SweepEngine:
             backend.apply_cost_layer(
                 states, self.diagonal, gammas[start:stop], scratch=scratch
             )
-            backend.walsh_transform(states, scratch=scratch)
+            with current_trace().span(
+                "walsh_stage", rows=m, backend=backend.name
+            ):
+                backend.walsh_transform(states, scratch=scratch)
             # Axis layout: axis 1 + (n-1-q) of the (m, 2, ..., 2) view is
             # qubit q (little-endian index convention).
             view = states.reshape((m, *((2,) * n)))

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.quantum.backend.scratch import ScratchPool, shared_pool
 from repro.quantum.statevector import n_qubits_for_dim, plus_state
+from repro.util.tracing import current_trace
 
 
 class StatevectorBackend(ABC):
@@ -121,13 +122,16 @@ class StatevectorBackend(ABC):
         m, p = mat.shape[0], mat.shape[1] // 2
         dim = 1 << n
         pool = pool if pool is not None else shared_pool()
-        states = self.plus_state_batch(n, m, out=pool.take("states", (m, dim)))
-        scratch = pool.take("phases", (m, dim))
-        for layer in range(p):
-            self.apply_cost_layer(states, diagonal, mat[:, layer], scratch=scratch)
-            # The phase scratch doubles as the mixer's ping-pong buffer.
-            self.apply_mixer_layer(states, mat[:, p + layer], scratch=scratch)
-        return states
+        with current_trace().span(
+            "backend-evolve", backend=self.name, rows=m, layers=p
+        ):
+            states = self.plus_state_batch(n, m, out=pool.take("states", (m, dim)))
+            scratch = pool.take("phases", (m, dim))
+            for layer in range(p):
+                self.apply_cost_layer(states, diagonal, mat[:, layer], scratch=scratch)
+                # The phase scratch doubles as the mixer's ping-pong buffer.
+                self.apply_mixer_layer(states, mat[:, p + layer], scratch=scratch)
+            return states
 
     def evolve_state(self, diagonal: np.ndarray, params: np.ndarray) -> np.ndarray:
         """|ψ_p(γ, β)⟩ for one packed parameter vector (fresh array)."""

@@ -49,6 +49,7 @@ import numpy as np
 from repro.quantum.backend.numpy_backend import NumpyBackend
 from repro.quantum.backend.scratch import ScratchPool, shared_pool
 from repro.quantum.statevector import n_qubits_for_dim
+from repro.util.tracing import current_trace
 
 # Stage widths: ~32×32 stage matrices are big enough that one blocked
 # pass replaces five strided per-qubit passes, small enough that building
@@ -288,23 +289,26 @@ class FusedBackend(NumpyBackend):
         m, p = mat.shape[0], mat.shape[1] // 2
         dim = 1 << n
         pool = pool if pool is not None else shared_pool()
-        states = pool.take("states", (m, dim))
-        scratch = pool.take("phases", (m, dim))
-        table = self._cost_table(diagonal)
-        if table is None:
-            np.multiply.outer(-1j * mat[:, 0], diagonal, out=states)
-            np.exp(states, out=states)
-        else:
-            values, inverse = table
-            phase = np.exp(np.multiply.outer(-1j * mat[:, 0], values))
-            np.take(phase, inverse, axis=1, out=states)
-        self.apply_mixer_layer(
-            states, mat[:, p], scratch=scratch, scale=1.0 / np.sqrt(dim)
-        )
-        for layer in range(1, p):
-            self.apply_cost_layer(states, diagonal, mat[:, layer], scratch=scratch)
-            self.apply_mixer_layer(states, mat[:, p + layer], scratch=scratch)
-        return states
+        with current_trace().span(
+            "backend-evolve", backend=self.name, rows=m, layers=p
+        ):
+            states = pool.take("states", (m, dim))
+            scratch = pool.take("phases", (m, dim))
+            table = self._cost_table(diagonal)
+            if table is None:
+                np.multiply.outer(-1j * mat[:, 0], diagonal, out=states)
+                np.exp(states, out=states)
+            else:
+                values, inverse = table
+                phase = np.exp(np.multiply.outer(-1j * mat[:, 0], values))
+                np.take(phase, inverse, axis=1, out=states)
+            self.apply_mixer_layer(
+                states, mat[:, p], scratch=scratch, scale=1.0 / np.sqrt(dim)
+            )
+            for layer in range(1, p):
+                self.apply_cost_layer(states, diagonal, mat[:, layer], scratch=scratch)
+                self.apply_mixer_layer(states, mat[:, p + layer], scratch=scratch)
+            return states
 
 
 __all__ = ["FusedBackend", "HIGH_STAGE_QUBITS", "LOW_STAGE_QUBITS"]

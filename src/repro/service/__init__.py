@@ -25,7 +25,12 @@ work is a *request* (graph + solver configuration) rather than a graph:
 * :mod:`repro.service.client`      — :class:`HttpMaxCutClient`, the
   blocking keep-alive client speaking the same wire schema;
 * :mod:`repro.service.metrics`     — counters and latency histograms
-  behind ``python -m repro service-stats`` and ``GET /stats``.
+  behind ``python -m repro service-stats``, ``GET /stats`` and the
+  Prometheus exposition ``GET /metrics``;
+* :mod:`repro.service.trace`       — :class:`TraceRecorder`: bounded
+  ring buffer of finished request span trees, JSONL sink, slow-request
+  log and per-stage breakdown (``python -m repro trace``; span
+  vocabulary in ``docs/observability.md``).
 
 See ``src/repro/service/README.md`` for the request lifecycle.
 """
@@ -61,6 +66,8 @@ from repro.service.service import (
     zipf_requests,
 )
 from repro.service.sharding import ShardRouter, shard_for_digest
+from repro.service.trace import TraceRecorder
+from repro.util.tracing import NO_TRACE, TraceContext
 
 __all__ = [
     "AsyncMaxCutServer",
@@ -73,6 +80,7 @@ __all__ = [
     "HttpServerThread",
     "LatencyStats",
     "MaxCutService",
+    "NO_TRACE",
     "RequestError",
     "RequestKey",
     "ResultCache",
@@ -82,6 +90,8 @@ __all__ = [
     "ServiceResult",
     "ShardRouter",
     "SolveRequest",
+    "TraceContext",
+    "TraceRecorder",
     "WireFormatError",
     "build_request",
     "canonical_fingerprint",

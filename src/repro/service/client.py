@@ -26,6 +26,8 @@ from typing import Optional, Tuple
 from repro.graphs.graph import Graph
 from repro.service.http import (
     RETRY_AFTER_S,
+    TRACE_HEADER,
+    TRACE_ROUTE_PREFIX,
     jsonable,
     request_to_wire,
     result_from_wire,
@@ -69,6 +71,8 @@ class HttpMaxCutClient:
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Response headers of the most recent round-trip (Retry-After &c).
         self.last_headers: dict = {}
+        #: Trace id echoed by the most recent round-trip ("" if untraced).
+        self.last_trace_id: str = ""
 
     # -- plumbing ------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -90,10 +94,16 @@ class HttpMaxCutClient:
         self.close()
 
     def request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, dict]:
         """One round-trip; returns ``(status, decoded JSON body)``.
 
+        Text responses (``GET /metrics``) are wrapped as ``{"text": ...}``.
         Retries exactly once on a stale keep-alive socket (the server
         closed an idle connection between our requests) — a fresh
         connection distinguishes "server gone" from "connection expired".
@@ -103,7 +113,9 @@ class HttpMaxCutClient:
             if payload is None
             else json.dumps(jsonable(payload)).encode("utf-8")
         )
-        headers = {} if body is None else {"Content-Type": "application/json"}
+        headers = dict(headers or {})
+        if body is not None:
+            headers.setdefault("Content-Type", "application/json")
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -117,6 +129,12 @@ class HttpMaxCutClient:
                     raise
         status = response.status
         self.last_headers = {name: value for name, value in response.getheaders()}
+        self.last_trace_id = str(self.last_headers.get(TRACE_HEADER, ""))
+        content_type = str(response.getheader("Content-Type") or "")
+        if content_type.startswith("text/plain"):
+            if response.getheader("Connection", "").lower() == "close":
+                self.close()
+            return status, {"text": raw.decode("utf-8")}
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -145,17 +163,24 @@ class HttpMaxCutClient:
         *,
         request: Optional[SolveRequest] = None,
         deadline_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
         **options,
     ) -> ServiceResult:
         """Solve over the wire; mirrors ``AsyncMaxCutServer.solve``.
 
         Accepts the same two calling styles as every facade in the stack
         (a prebuilt :class:`SolveRequest`, or graph + keyword knobs) plus
-        ``deadline_s``, the server-side per-request deadline.
+        ``deadline_s``, the server-side per-request deadline, and
+        ``trace_id``, sent as ``X-Repro-Trace`` so a tracing server names
+        the request's trace; the echoed id lands on ``last_trace_id``.
         """
         solve_request = build_request(graph, request=request, **options)
+        headers = {} if trace_id is None else {TRACE_HEADER: str(trace_id)}
         status, payload = self.request(
-            "POST", "/solve", request_to_wire(solve_request, deadline_s=deadline_s)
+            "POST",
+            "/solve",
+            request_to_wire(solve_request, deadline_s=deadline_s),
+            headers=headers,
         )
         if status != 200:
             self._raise_for(status, payload)
@@ -169,6 +194,20 @@ class HttpMaxCutClient:
 
     def stats(self) -> dict:
         status, payload = self.request("GET", "/stats")
+        if status != 200:
+            self._raise_for(status, payload)
+        return payload
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition."""
+        status, payload = self.request("GET", "/metrics")
+        if status != 200:
+            self._raise_for(status, payload)
+        return str(payload.get("text", ""))
+
+    def trace(self, trace_id: str) -> dict:
+        """``GET /trace/<id>`` — a recorded span tree (with ``"tree"``)."""
+        status, payload = self.request("GET", TRACE_ROUTE_PREFIX + str(trace_id))
         if status != 200:
             self._raise_for(status, payload)
         return payload

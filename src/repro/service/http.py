@@ -53,13 +53,19 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    ServiceMetrics,
+    render_prometheus,
+)
 from repro.service.server import (
     AsyncMaxCutServer,
     RequestError,
     ServerOverloaded,
 )
 from repro.service.service import ServiceResult, SolveRequest
+from repro.service.trace import TraceRecorder
+from repro.util.tracing import NO_TRACE, NullTraceContext, TraceContext
 
 # ---------------------------------------------------------------------------
 # Protocol constants (docs/http-api.md mirrors these; tests pin the match)
@@ -105,11 +111,21 @@ _REASONS = {
 }
 
 #: Route table: path -> allowed HTTP method.  Anything else is 404/405.
+#: ``/trace/<id>`` is the one non-exact route; :meth:`_dispatch` matches
+#: it by the :data:`TRACE_ROUTE_PREFIX` before this table is consulted.
 ROUTES = {
     "/solve": "POST",
     "/healthz": "GET",
     "/stats": "GET",
+    "/metrics": "GET",
 }
+
+#: Prefix of the span-tree inspection route ``GET /trace/<id>``.
+TRACE_ROUTE_PREFIX = "/trace/"
+
+#: Request/response header carrying the trace id.  Clients may send it
+#: to name their own trace; traced responses always echo it back.
+TRACE_HEADER = "X-Repro-Trace"
 
 _SOLVE_KEYS = frozenset(
     {"graph", "method", "options", "qaoa_grid", "gw_options", "seed",
@@ -324,21 +340,37 @@ def result_from_wire(payload: dict) -> ServiceResult:
 class _HttpReject(Exception):
     """Internal: abort the current request with a specific error code."""
 
-    def __init__(self, code: str, message: str, *, close: bool = False) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        close: bool = False,
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         super().__init__(message)
         self.code = code
         self.status = ERROR_CONTRACT[code]
         self.close = close
+        self.headers = tuple(headers)
 
 
 class _Request:
-    __slots__ = ("method", "path", "body", "keep_alive")
+    __slots__ = ("method", "path", "body", "keep_alive", "trace_id")
 
-    def __init__(self, method: str, path: str, body: bytes, keep_alive: bool):
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        keep_alive: bool,
+        trace_id: str = "",
+    ):
         self.method = method
         self.path = path
         self.body = body
         self.keep_alive = keep_alive
+        self.trace_id = trace_id
 
 
 class HttpMaxCutServer:
@@ -353,6 +385,13 @@ class HttpMaxCutServer:
                            body carries none (``None`` = wait forever)
     ``keepalive_s``        idle seconds before a kept-alive connection
                            is closed
+    ``tracing``            create a :class:`~repro.util.tracing.TraceContext`
+                           per ``/solve`` request (honouring an incoming
+                           ``X-Repro-Trace`` header), record the finished
+                           span tree in ``self.traces`` and echo the trace
+                           id in the response; pass ``traces=`` to supply
+                           a configured :class:`TraceRecorder` (JSONL
+                           sink, slow-request log) instead
 
     Lifecycle: ``await start()`` binds the socket; ``await stop()`` runs
     the graceful drain (close the listener, finish in-flight responses,
@@ -370,6 +409,8 @@ class HttpMaxCutServer:
         max_nodes: int = DEFAULT_MAX_NODES,
         default_deadline_s: Optional[float] = None,
         keepalive_s: float = DEFAULT_KEEPALIVE_S,
+        tracing: bool = False,
+        traces: Optional[TraceRecorder] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ValueError("max_body_bytes must be positive")
@@ -380,6 +421,10 @@ class HttpMaxCutServer:
         self.max_nodes = int(max_nodes)
         self.default_deadline_s = default_deadline_s
         self.keepalive_s = float(keepalive_s)
+        self.traces = traces if traces is not None else (
+            TraceRecorder() if tracing else None
+        )
+        self.tracing = self.traces is not None
         self.metrics = ServiceMetrics()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -629,12 +674,26 @@ class HttpMaxCutServer:
             keep_alive = connection == "keep-alive"
         else:
             keep_alive = connection != "close"
-        return _Request(method.upper(), target.split("?", 1)[0], body, keep_alive)
+        return _Request(
+            method.upper(),
+            target.split("?", 1)[0],
+            body,
+            keep_alive,
+            headers.get(TRACE_HEADER.lower(), ""),
+        )
 
     # -- routing -------------------------------------------------------
     async def _dispatch(
         self, request: _Request
-    ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+    ) -> Tuple[int, "dict | str", Sequence[Tuple[str, str]]]:
+        if request.path.startswith(TRACE_ROUTE_PREFIX):
+            if request.method != "GET":
+                raise _HttpReject(
+                    "method-not-allowed", "/trace/<id> only supports GET"
+                )
+            return 200, self._trace_payload(
+                request.path[len(TRACE_ROUTE_PREFIX):]
+            ), ()
         allowed = ROUTES.get(request.path)
         if allowed is None:
             raise _HttpReject("not-found", f"unknown path {request.path!r}")
@@ -647,7 +706,9 @@ class HttpMaxCutServer:
             return 200, self._healthz_payload(), ()
         if request.path == "/stats":
             return 200, self._stats_payload(), ()
-        return await self._solve(request.body)
+        if request.path == "/metrics":
+            return 200, self._metrics_text(), ()
+        return await self._solve(request)
 
     def _healthz_payload(self) -> dict:
         return {
@@ -656,65 +717,125 @@ class HttpMaxCutServer:
         }
 
     def _stats_payload(self) -> dict:
-        return {
+        payload = {
             "shards": self.server.router.n_shards,
             "draining": self.server.draining,
             "loads": [int(load) for load in self.server.router.loads],
             "metrics": self.server.merged_metrics().json_snapshot(),
             "http": self.metrics.json_snapshot(),
         }
+        if self.traces is not None:
+            payload["trace_stages"] = self.traces.stage_summary()
+            payload["traces_recorded"] = self.traces.recorded_total
+        return payload
+
+    def _metrics_text(self) -> str:
+        """Prometheus text exposition: shard metrics + HTTP-layer metrics."""
+        return render_prometheus(
+            self.server.merged_metrics(), namespace="repro"
+        ) + render_prometheus(self.metrics, namespace="repro_http")
+
+    def _trace_payload(self, trace_id: str) -> dict:
+        if self.traces is None:
+            raise _HttpReject("not-found", "tracing is disabled")
+        trace = self.traces.get(trace_id)
+        if trace is None:
+            raise _HttpReject("not-found", f"unknown trace id {trace_id!r}")
+        payload = trace.to_dict()
+        payload["tree"] = trace.format_tree()
+        return payload
+
+    def _finish_trace(self, trace: "TraceContext | NullTraceContext") -> None:
+        """Close and record an HTTP-owned trace (no-op for NO_TRACE)."""
+        if self.traces is not None and isinstance(trace, TraceContext):
+            trace.finish()
+            self.traces.record(trace)
 
     async def _solve(
-        self, body: bytes
+        self, http_request: _Request
     ) -> Tuple[int, dict, Sequence[Tuple[str, str]]]:
+        # The HTTP layer owns the trace: it creates the context (reusing
+        # the client's X-Repro-Trace id when one arrived), the shard
+        # worker appends its spans via SolveRequest.trace, and the
+        # ``finally`` below finishes + records it — including on error
+        # and deadline paths, where late spans from the still-running
+        # solve are dropped by the inert finished trace.
+        trace: "TraceContext | NullTraceContext" = NO_TRACE
+        if self.tracing:
+            trace = TraceContext(http_request.trace_id or None)
+        headers: Tuple[Tuple[str, str], ...] = (
+            ((TRACE_HEADER, trace.trace_id),) if trace.enabled else ()
+        )
+        body = http_request.body
         try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise _HttpReject("bad-request", f"invalid JSON body: {exc}") from exc
-        try:
-            request, deadline_s = request_from_wire(
-                payload, max_nodes=self.max_nodes
-            )
-        except WireFormatError as exc:
-            raise _HttpReject("bad-request", str(exc)) from exc
-        if deadline_s is None:
-            deadline_s = self.default_deadline_s
-        try:
-            future = self.server.submit(request=request)
-        except ServerOverloaded as exc:
-            raise _HttpReject("overloaded", str(exc)) from exc
-        try:
-            # shield(): a deadline must abandon *this response*, never the
-            # underlying solve — coalesced followers and the in-flight
-            # table keep their owner.
-            result = await asyncio.wait_for(
-                asyncio.shield(future), timeout=deadline_s
-            )
-        except asyncio.TimeoutError:
-            self.metrics.increment("http_deadline_exceeded")
-            raise _HttpReject(
-                "deadline-exceeded",
-                f"deadline of {deadline_s}s elapsed before the solve finished",
-            ) from None
-        except ServerOverloaded as exc:  # shed while queued
-            raise _HttpReject("overloaded", str(exc)) from exc
-        except RequestError as exc:  # batch-level failure below capture
-            raise _HttpReject("solve-failed", str(exc)) from exc
-        if result.failed:
-            return (
-                502,
-                {
-                    "error": str(result.extra.get("error", "solve failed")),
-                    "code": "solve-failed",
-                    "digest": result.digest,
-                    "status": result.status,
-                    "method": result.method,
-                    "seed": int(result.seed),
-                    "elapsed": float(result.elapsed),
-                },
-                (),
-            )
-        return 200, result_to_wire(result), ()
+            with trace.span("wire-parse", bytes=len(body)):
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise _HttpReject(
+                        "bad-request",
+                        f"invalid JSON body: {exc}",
+                        headers=headers,
+                    ) from exc
+                try:
+                    request, deadline_s = request_from_wire(
+                        payload, max_nodes=self.max_nodes
+                    )
+                except WireFormatError as exc:
+                    raise _HttpReject(
+                        "bad-request", str(exc), headers=headers
+                    ) from exc
+            request.trace = trace
+            if deadline_s is None:
+                deadline_s = self.default_deadline_s
+            try:
+                future = self.server.submit(request=request)
+            except ServerOverloaded as exc:
+                raise _HttpReject(
+                    "overloaded", str(exc), headers=headers
+                ) from exc
+            try:
+                # shield(): a deadline must abandon *this response*, never
+                # the underlying solve — coalesced followers and the
+                # in-flight table keep their owner.  The shard worker's
+                # spans nest under ``await`` while this task is suspended.
+                with trace.span("await"):
+                    result = await asyncio.wait_for(
+                        asyncio.shield(future), timeout=deadline_s
+                    )
+            except asyncio.TimeoutError:
+                self.metrics.increment("http_deadline_exceeded")
+                raise _HttpReject(
+                    "deadline-exceeded",
+                    f"deadline of {deadline_s}s elapsed before the solve "
+                    "finished",
+                    headers=headers,
+                ) from None
+            except ServerOverloaded as exc:  # shed while queued
+                raise _HttpReject(
+                    "overloaded", str(exc), headers=headers
+                ) from exc
+            except RequestError as exc:  # batch-level failure below capture
+                raise _HttpReject(
+                    "solve-failed", str(exc), headers=headers
+                ) from exc
+            if result.failed:
+                return (
+                    502,
+                    {
+                        "error": str(result.extra.get("error", "solve failed")),
+                        "code": "solve-failed",
+                        "digest": result.digest,
+                        "status": result.status,
+                        "method": result.method,
+                        "seed": int(result.seed),
+                        "elapsed": float(result.elapsed),
+                    },
+                    headers,
+                )
+            return 200, result_to_wire(result), headers
+        finally:
+            self._finish_trace(trace)
 
     # -- response writing ----------------------------------------------
     async def _respond_error(
@@ -724,11 +845,9 @@ class HttpMaxCutServer:
         *,
         keep_alive: bool,
     ) -> None:
-        headers = (
-            (("Retry-After", str(RETRY_AFTER_S)),)
-            if reject.status == ERROR_CONTRACT["overloaded"]
-            else ()
-        )
+        headers = tuple(reject.headers)
+        if reject.status == ERROR_CONTRACT["overloaded"]:
+            headers += (("Retry-After", str(RETRY_AFTER_S)),)
         await self._respond(
             writer,
             reject.status,
@@ -741,16 +860,22 @@ class HttpMaxCutServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: "dict | str",
         *,
         keep_alive: bool,
         headers: Iterable[Tuple[str, str]] = (),
     ) -> None:
         self.metrics.increment(f"http_{status}")
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if isinstance(payload, str):
+            # Text exposition (GET /metrics): Prometheus format 0.0.4.
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -911,6 +1036,8 @@ __all__ = [
     "HttpServerThread",
     "RETRY_AFTER_S",
     "ROUTES",
+    "TRACE_HEADER",
+    "TRACE_ROUTE_PREFIX",
     "WireFormatError",
     "graph_from_wire",
     "graph_to_wire",

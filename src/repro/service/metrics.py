@@ -13,10 +13,12 @@ Counter vocabulary used by the service stack (callers may add their own):
 ``misses``          required an actual solve
 ``coalesced``       duplicate in-flight requests folded into one job
     (both within one ``solve_many`` batch and — on the async server —
-    across concurrent clients; the latter additionally counts as
-    ``coalesced_inflight``)
+    across concurrent clients)
+``coalesced_inflight``  the cross-client subset of ``coalesced``: a
+    submission that attached to another client's in-flight solve
 ``solves``          cold solves executed
 ``errors``          requests answered with a captured per-request error
+``job_errors``      scheduler jobs whose solve raised (captured mode)
 ``lockstep_jobs``   jobs dispatched inside a lock-step SPSA batch
 ``lockstep_batches``lock-step batches dispatched
 ``shared_diagonals``jobs that reused a batch-mate's cut diagonal
@@ -39,8 +41,9 @@ so shard worker threads and the event-loop thread can share a recorder.
 
 from __future__ import annotations
 
+import re
 import threading
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +51,26 @@ import numpy as np
 # request volumes an in-process service sees, bounded so long-lived
 # services do not grow without limit.
 DEFAULT_RESERVOIR = 4096
+
+# Histogram upper bounds (seconds) for the Prometheus exposition: a
+# 1-2.5-5 ladder from 100µs (cache lookups) to 10s (cold QAOA solves).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _strided_subsample(samples: List[float], k: int) -> List[float]:
+    """``k`` samples drawn at an even stride (deterministic, order kept)."""
+    if k <= 0:
+        return []
+    if k >= len(samples):
+        return list(samples)
+    step = len(samples) / k
+    return [samples[int(i * step)] for i in range(k)]
 
 
 class LatencyStats:
@@ -109,15 +132,51 @@ class LatencyStats:
     def merge(self, other: "LatencyStats") -> None:
         """Fold ``other``'s observations into this recorder (shard rollup).
 
-        Exact statistics (count/total/min/max) merge exactly; the sample
-        reservoir is concatenated and truncated to capacity, which keeps
-        percentiles representative when the inputs are same-order sized.
+        Exact statistics (count/total/min/max) merge exactly.  The two
+        sample reservoirs are combined by a deterministic proportional
+        subsample: each side contributes a share of the capacity matching
+        its share of the *observation* count (not its reservoir length),
+        drawn with an even stride so the kept samples span each side's
+        history.  A plain ``(self + other)[:reservoir]`` would silently
+        drop all of ``other``'s samples whenever ``self`` is already
+        full, skewing merged percentiles toward one shard.
         """
-        self.count += other.count
+        total_count = self.count + other.count
+        if len(self._samples) + len(other._samples) <= self.reservoir:
+            merged = self._samples + other._samples
+        elif total_count <= 0:
+            merged = (self._samples + other._samples)[: self.reservoir]
+        else:
+            k_self = int(round(self.reservoir * self.count / total_count))
+            if other._samples and other.count:
+                k_self = min(k_self, self.reservoir - 1)
+            if self._samples and self.count:
+                k_self = max(k_self, 1)
+            merged = _strided_subsample(self._samples, k_self)
+            merged += _strided_subsample(
+                other._samples, self.reservoir - len(merged)
+            )
+        self.count = total_count
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
-        self._samples = (self._samples + other._samples)[: self.reservoir]
+        self._samples = merged
+
+    def bucket_counts(self, bounds: Sequence[float]) -> List[int]:
+        """Cumulative observation counts per upper bound (histogram rows).
+
+        The reservoir only *samples* past capacity, so per-bucket sample
+        fractions are rescaled by the exact observation count; rounding
+        is monotone, so the cumulative counts stay non-decreasing (a
+        Prometheus histogram invariant).
+        """
+        if not self._samples:
+            return [0] * len(bounds)
+        samples = np.sort(np.asarray(self._samples))
+        positions = np.searchsorted(samples, np.asarray(bounds), side="right")
+        return [
+            int(round(self.count * int(pos) / len(samples))) for pos in positions
+        ]
 
 
 class ServiceMetrics:
@@ -157,13 +216,21 @@ class ServiceMetrics:
         stats = self.latencies.get(name)
         return stats.percentile(q) if stats is not None else float("nan")
 
+    def counter_snapshot(self) -> Dict[str, int]:
+        """Sorted copy of the counter map."""
+        return dict(sorted(self.counters.items()))
+
+    def latency_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Sorted per-histogram summaries (count/mean/p50/p95/min/max)."""
+        return {
+            name: stats.summary()
+            for name, stats in sorted(self.latencies.items())
+        }
+
     def snapshot(self) -> Dict[str, object]:
         return {
-            "counters": dict(sorted(self.counters.items())),
-            "latencies": {
-                name: stats.summary()
-                for name, stats in sorted(self.latencies.items())
-            },
+            "counters": self.counter_snapshot(),
+            "latencies": self.latency_snapshot(),
         }
 
     def json_snapshot(self) -> Dict[str, object]:
@@ -175,17 +242,16 @@ class ServiceMetrics:
         endpoint (:mod:`repro.service.http`).
         """
 
-        def clean(value: object) -> object:
-            if isinstance(value, float) and not np.isfinite(value):
+        def clean(value: float) -> Optional[float]:
+            if not np.isfinite(value):
                 return None
             return value
 
-        snap = self.snapshot()
         return {
-            "counters": snap["counters"],
+            "counters": self.counter_snapshot(),
             "latencies": {
                 name: {key: clean(val) for key, val in summary.items()}
-                for name, summary in snap["latencies"].items()  # type: ignore[union-attr]
+                for name, summary in self.latency_snapshot().items()
             },
         }
 
@@ -249,4 +315,67 @@ class ServiceMetrics:
         return "\n".join(lines)
 
 
-__all__ = ["DEFAULT_RESERVOIR", "LatencyStats", "ServiceMetrics"]
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4) — behind ``GET /metrics``.
+
+#: Characters Prometheus forbids in metric names, replaced by ``_``.
+_METRIC_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Content type a Prometheus scraper expects for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _metric_name(namespace: str, name: str, suffix: str = "") -> str:
+    return _METRIC_NAME_BAD.sub("_", f"{namespace}_{name}{suffix}")
+
+
+def render_prometheus(
+    metrics: "ServiceMetrics",
+    *,
+    namespace: str = "repro",
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> str:
+    """Render counters + latency histograms as Prometheus text format.
+
+    Counters become ``<ns>_<name>_total``; every latency reservoir
+    becomes a ``<ns>_<name>_seconds`` histogram whose cumulative buckets
+    are rescaled from the reservoir to the exact observation count (see
+    :meth:`LatencyStats.bucket_counts`).  The snapshot is taken under the
+    metrics lock so a scrape never sees a torn increment.
+    """
+    with metrics._lock:
+        counters = dict(metrics.counters)
+        histograms = {
+            name: (stats.count, stats.total, stats.bucket_counts(buckets))
+            for name, stats in metrics.latencies.items()
+        }
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(namespace, name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    rate = metrics.hit_rate()
+    if rate is not None:
+        metric = _metric_name(namespace, "hit_rate")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {rate:.6f}")
+    for name in sorted(histograms):
+        count, total, cumulative = histograms[name]
+        metric = _metric_name(namespace, name, "_seconds")
+        lines.append(f"# TYPE {metric} histogram")
+        for bound, value in zip(buckets, cumulative):
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {value}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {total:.9f}")
+        lines.append(f"{metric}_count {count}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_RESERVOIR",
+    "LatencyStats",
+    "PROMETHEUS_CONTENT_TYPE",
+    "ServiceMetrics",
+    "render_prometheus",
+]

@@ -56,6 +56,7 @@ from repro.qaoa.solver import QAOASolver
 from repro.qaoa2.solver import _solve_subgraph_job
 from repro.service.metrics import ServiceMetrics
 from repro.util.rng import ensure_rng
+from repro.util.tracing import NO_TRACE, NullTraceContext, TraceContext, use_trace
 
 # Only graphs small enough for a statevector benefit from an eagerly
 # shared diagonal (mirrors the solver's own max_qubits default).
@@ -74,6 +75,9 @@ class ScheduledJob:
     gw_options: dict
     seed: int
     exact: bool = False  # force the reference per-job path
+    # Owner request's trace (observability only — never in the payload
+    # dict, so the reference job function's contract is untouched).
+    trace: "TraceContext | NullTraceContext" = NO_TRACE
 
     def payload(self) -> dict:
         return {
@@ -84,6 +88,22 @@ class ScheduledJob:
             "qaoa_grid": self.qaoa_grid,
             "gw_options": dict(self.gw_options),
         }
+
+
+def _traced_solve_job(item: Tuple[dict, "TraceContext | NullTraceContext"]) -> dict:
+    """Reference job function plus span bookkeeping.
+
+    The trace rides *next to* the payload (never inside it) and is bound
+    as the ambient trace inside the executor worker — this is the bridge
+    that lets ``SweepEngine``/backend spans land on the right request even
+    when several jobs with distinct traces run in one thread pool.
+    Module-level so the process backend can pickle the callable (its items
+    carry ``NO_TRACE`` there — see :meth:`BatchScheduler.run`).
+    """
+    payload, trace = item
+    with use_trace(trace):
+        with trace.span("solve", method=str(payload.get("method"))):
+            return _solve_subgraph_job(payload)
 
 
 def _graph_key(graph: Graph) -> Tuple[int, bytes, bytes, bytes]:
@@ -172,7 +192,18 @@ class BatchScheduler:
             payloads = [job.payload() for job in generic]
             if self.share_diagonals:
                 self._share_diagonals(generic, payloads, executor)
-            solved = self._map_resilient(payloads, executor, capture_errors)
+            if executor.backend == "process":
+                # Spans recorded in a worker process die with it; strip
+                # traces rather than pickle span trees that never return
+                # (mirrors the diagonal-sharing skip above).
+                traces: List["TraceContext | NullTraceContext"] = [
+                    NO_TRACE for _ in generic
+                ]
+            else:
+                traces = [job.trace for job in generic]
+            solved = self._map_resilient(
+                list(zip(payloads, traces)), executor, capture_errors
+            )
             for job, result in zip(generic, solved, strict=True):
                 results[job.index] = result
         self.metrics.increment("solves", len(jobs))
@@ -191,7 +222,7 @@ class BatchScheduler:
     # ------------------------------------------------------------------
     def _map_resilient(
         self,
-        payloads: List[dict],
+        items: List[Tuple[dict, "TraceContext | NullTraceContext"]],
         executor: ExecutorConfig,
         capture_errors: bool,
     ) -> List[dict]:
@@ -204,20 +235,24 @@ class BatchScheduler:
         and deterministic jobs recompute their reference results exactly.
         """
         try:
-            return map_jobs(_solve_subgraph_job, payloads, config=executor)
+            return map_jobs(_traced_solve_job, items, config=executor)
         except Exception:
             self.metrics.increment("executor_retries")
-        return [self._solve_or_error(p, capture_errors) for p in payloads]
+        return [self._solve_or_error(item, capture_errors) for item in items]
 
-    def _solve_or_error(self, payload: dict, capture_errors: bool) -> dict:
+    def _solve_or_error(
+        self,
+        item: Tuple[dict, "TraceContext | NullTraceContext"],
+        capture_errors: bool,
+    ) -> dict:
         try:
-            return _solve_subgraph_job(payload)
+            return _traced_solve_job(item)
         except Exception as exc:
             if not capture_errors:
                 raise
             return {
                 "error": f"{type(exc).__name__}: {exc}",
-                "method": payload.get("method"),
+                "method": item[0].get("method"),
                 "elapsed": 0.0,
             }
 
@@ -284,8 +319,19 @@ class BatchScheduler:
             if len(batch) < 2:
                 leftovers.extend(batch)
                 continue
+            owner = batch[0].trace
+            t0 = time.perf_counter()
             try:
-                solved = _solve_lockstep_batch(batch[0].graph, batch, solvers[token])
+                # The owner's trace hosts the engine/backend spans (set as
+                # the ambient trace for the whole batch solve); followers
+                # get a retroactive span referencing the owner below.
+                with use_trace(owner):
+                    with owner.span(
+                        "solve", method="qaoa", lockstep=True, batch=len(batch)
+                    ):
+                        solved = _solve_lockstep_batch(
+                            batch[0].graph, batch, solvers[token]
+                        )
             except Exception:
                 if not capture_errors:
                     raise
@@ -293,6 +339,17 @@ class BatchScheduler:
                 # captures the failure per job.
                 leftovers.extend(batch)
                 continue
+            t1 = time.perf_counter()
+            for job in batch[1:]:
+                job.trace.add_span(
+                    "solve",
+                    t0,
+                    t1,
+                    method="qaoa",
+                    lockstep=True,
+                    batch=len(batch),
+                    owner=owner.trace_id,
+                )
             for job, result in zip(batch, solved, strict=True):
                 results[job.index] = result
             self.metrics.increment("lockstep_jobs", len(batch))

@@ -66,6 +66,8 @@ from repro.service.service import (
     build_request,
 )
 from repro.service.sharding import ShardRouter
+from repro.service.trace import TraceRecorder
+from repro.util.tracing import NO_TRACE, NullTraceContext, TraceContext
 
 DEFAULT_QUEUE_DEPTH = 64
 DEFAULT_MAX_BATCH = 16
@@ -87,6 +89,12 @@ class _Submission:
     request: SolveRequest
     key: RequestKey
     future: asyncio.Future
+    # Observability: the request's trace, when it was admitted (for the
+    # retroactive shard-queue span), and whether this server created the
+    # trace (and therefore finishes + records it on resolve).
+    trace: "TraceContext | NullTraceContext" = NO_TRACE
+    enqueued: float = 0.0
+    owns_trace: bool = False
 
 
 @dataclass
@@ -95,6 +103,9 @@ class _InFlight:
 
     future: asyncio.Future
     fp: GraphFingerprint
+    # Owner's trace id so follower traces can reference the solve they
+    # piggybacked on ("" when the owner was untraced).
+    trace_id: str = ""
 
 
 class AsyncMaxCutServer:
@@ -122,6 +133,10 @@ class AsyncMaxCutServer:
                           compaction after this many loose writes
     ``service_factory``   override shard construction entirely
                           (``factory(shard_index) -> MaxCutService``)
+    ``tracing``           attach a span-tree trace to every submission and
+                          record it in ``traces`` (a :class:`TraceRecorder`
+                          ring buffer; pass ``traces=`` for sink/slow-log
+                          knobs) — see docs/observability.md
     """
 
     def __init__(
@@ -141,6 +156,8 @@ class AsyncMaxCutServer:
         cache_cost_floor: Optional[object] = None,
         compact_every: Optional[int] = None,
         service_factory: Optional[Callable[[int], MaxCutService]] = None,
+        tracing: bool = False,
+        traces: Optional[TraceRecorder] = None,
     ) -> None:
         if admission not in ADMISSION_POLICIES:
             raise ValueError(
@@ -177,6 +194,16 @@ class AsyncMaxCutServer:
                     error_mode="capture",
                 )
 
+        # Request tracing: off by default (submissions carry NO_TRACE and
+        # every span call is a no-op).  When on, submit() attaches a fresh
+        # TraceContext to each un-traced request and records it at resolve
+        # time; requests arriving with a live trace (the HTTP front end)
+        # keep theirs and are finished by their creator instead.  Pass a
+        # preconfigured TraceRecorder for JSONL sink / slow-log knobs.
+        self.traces = (
+            traces if traces is not None else (TraceRecorder() if tracing else None)
+        )
+        self.tracing = self.traces is not None
         self.router = ShardRouter(n_shards, service_factory)
         self._inflight: dict[str, _InFlight] = {}
         self._queues: List[asyncio.Queue] = []
@@ -262,6 +289,15 @@ class AsyncMaxCutServer:
         request = build_request(graph, request=request, **options)
         loop = asyncio.get_running_loop()
 
+        # Attach a trace to untraced submissions when tracing is on; a
+        # request arriving with a live trace (HTTP front end) keeps it and
+        # its creator finishes it.
+        owns_trace = False
+        if self.tracing and not request.trace.enabled:
+            request.trace = TraceContext()
+            owns_trace = True
+        trace = request.trace
+
         # The request's identity depends only on the shared master seed,
         # so any shard's service computes the same key; shard 0 describes,
         # the digest picks the owner.  (The fingerprint is memoised on
@@ -269,6 +305,7 @@ class AsyncMaxCutServer:
         key = self.router.shards[0].describe(request)  # type: ignore[union-attr]
         shard_index = self.router.shard_index(key.fp.digest)
         service: MaxCutService = self.router.shards[shard_index]  # type: ignore
+        trace.annotate(shard=shard_index, fingerprint_prefix=key.fp.digest[:10])
 
         # Cross-client in-flight coalescing: exactly one underlying solve
         # per distinct (fingerprint, digest) at any moment.  The whole
@@ -282,21 +319,31 @@ class AsyncMaxCutServer:
             service.metrics.increment("requests")
             service.metrics.increment("coalesced")
             service.metrics.increment("coalesced_inflight")
-            return loop.create_task(self._follow(service, inflight, key))
+            return loop.create_task(
+                self._follow(service, inflight, key, trace, owns_trace)
+            )
 
         # Inline cache probe on the owning shard (cheap; the cache is
         # thread-safe against the shard worker).  Counted exactly like a
         # solve_many hit; queued requests are counted by solve_many
         # itself, preserving requests == hits + coalesced + misses.
-        hit = service.lookup(key)
+        hit = service.lookup(key, trace=trace)
         if hit is not None:
             service.metrics.increment("requests")
             done: asyncio.Future = loop.create_future()
             done.set_result(hit)
+            self._finish_owned(trace, owns_trace)
             return done
 
         future: asyncio.Future = loop.create_future()
-        submission = _Submission(request=request, key=key, future=future)
+        submission = _Submission(
+            request=request,
+            key=key,
+            future=future,
+            trace=trace,
+            enqueued=time.perf_counter(),
+            owns_trace=owns_trace,
+        )
         queue = self._queues[shard_index]
         try:
             queue.put_nowait(submission)
@@ -318,7 +365,9 @@ class AsyncMaxCutServer:
                 )
             service.metrics.increment("shed")
             queue.put_nowait(submission)
-        self._inflight[key.digest] = _InFlight(future=future, fp=key.fp)
+        self._inflight[key.digest] = _InFlight(
+            future=future, fp=key.fp, trace_id=trace.trace_id
+        )
         self.router.loads[shard_index] += 1
         # repro: end-atomic
         return future
@@ -369,7 +418,12 @@ class AsyncMaxCutServer:
     # Internals
     # ------------------------------------------------------------------
     async def _follow(
-        self, service: MaxCutService, inflight: _InFlight, key: RequestKey
+        self,
+        service: MaxCutService,
+        inflight: _InFlight,
+        key: RequestKey,
+        trace: "TraceContext | NullTraceContext" = NO_TRACE,
+        owns_trace: bool = False,
     ) -> ServiceResult:
         """Piggyback on another client's in-flight solve for ``key``.
 
@@ -378,7 +432,9 @@ class AsyncMaxCutServer:
         request's labels through the two fingerprints.
         """
         t0 = time.perf_counter()
-        owner: ServiceResult = await asyncio.shield(inflight.future)
+        with trace.span("coalesced-inflight", owner=inflight.trace_id):
+            owner: ServiceResult = await asyncio.shield(inflight.future)
+        self._finish_owned(trace, owns_trace)
         if owner.failed:
             service.metrics.increment("errors")
             return ServiceResult(
@@ -408,10 +464,19 @@ class AsyncMaxCutServer:
         )
 
     def _solve_batch(
-        self, service: MaxCutService, batch: List[_Submission]
+        self,
+        service: MaxCutService,
+        batch: List[_Submission],
+        shard_index: int = 0,
     ) -> List[ServiceResult]:
         # Runs in a worker thread: the shard's synchronous facade does
         # coalescing / lock-step batching / diagonal sharing as usual.
+        # Queue wait is recorded retroactively (admission → first dequeue)
+        # so the span tree shows where p95 time went without the admission
+        # path ever opening a span it could leak.
+        now = time.perf_counter()
+        for sub in batch:
+            sub.trace.add_span("shard-queue", sub.enqueued, now, shard=shard_index)
         return service.solve_many([sub.request for sub in batch])
 
     async def _worker(self, shard_index: int) -> None:
@@ -428,7 +493,9 @@ class AsyncMaxCutServer:
                 except asyncio.QueueEmpty:
                     break
             try:
-                results = await asyncio.to_thread(self._solve_batch, service, batch)
+                results = await asyncio.to_thread(
+                    self._solve_batch, service, batch, shard_index
+                )
                 for sub, result in zip(batch, results, strict=True):
                     self._resolve(sub, result=result)
             except asyncio.CancelledError:
@@ -452,6 +519,7 @@ class AsyncMaxCutServer:
             del self._inflight[submission.key.digest]
         if not submission.future.done():
             submission.future.set_result(result)
+        self._finish_owned(submission.trace, submission.owns_trace)
 
     def _fail_batch(self, batch: List[_Submission], exc: BaseException) -> None:
         for submission in batch:
@@ -462,6 +530,16 @@ class AsyncMaxCutServer:
                 submission.future.set_exception(
                     RequestError(f"{type(exc).__name__}: {exc}")
                 )
+            submission.trace.annotate(error=type(exc).__name__)
+            self._finish_owned(submission.trace, submission.owns_trace)
+
+    def _finish_owned(
+        self, trace: "TraceContext | NullTraceContext", owns_trace: bool
+    ) -> None:
+        """Finish + record a trace this server created (no-op otherwise)."""
+        if owns_trace and self.traces is not None:
+            trace.finish()
+            self.traces.record(trace)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -484,6 +562,9 @@ class AsyncMaxCutServer:
         for index, service in enumerate(self.services):
             parts.append("")
             parts.append(f"shard {index} " + service.cache.format_summary())
+        if self.traces is not None and len(self.traces):
+            parts.append("")
+            parts.append(self.traces.format_stage_table())
         return "\n".join(parts)
 
 

@@ -50,7 +50,9 @@ from repro.service.fingerprint import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import BatchScheduler, ScheduledJob
+from repro.service.trace import TraceRecorder
 from repro.util.rng import RngLike, ensure_rng
+from repro.util.tracing import NO_TRACE, NullTraceContext, TraceContext
 
 
 @dataclass
@@ -73,6 +75,12 @@ class SolveRequest:
     gw_options: dict = field(default_factory=dict)
     seed: Optional[int] = None
     exact: bool = False
+    # Observability carrier, NOT identity: excluded from equality and from
+    # request_digest (which hashes explicit fields only), so tracing can
+    # never change what a request computes or where it caches.
+    trace: "TraceContext | NullTraceContext" = field(
+        default=NO_TRACE, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -179,6 +187,8 @@ class MaxCutService:
         cache_cost_floor: Optional[object] = None,
         error_mode: str = "raise",
         compact_every: Optional[int] = None,
+        tracing: bool = False,
+        traces: Optional[TraceRecorder] = None,
     ) -> None:
         if error_mode not in ("raise", "capture"):
             raise ValueError(
@@ -217,6 +227,15 @@ class MaxCutService:
         # the store-everything behaviour.
         self.cache_cost_floor = cache_cost_floor
         self.error_mode = error_mode
+        # Request tracing (off by default — requests then carry NO_TRACE
+        # and every span call is a shared no-op).  When enabled the
+        # service creates a TraceContext per un-traced request in
+        # ``solve_many`` and files it with the recorder; requests arriving
+        # with a live trace (async server / HTTP front end) keep theirs.
+        self.traces = (
+            traces if traces is not None else (TraceRecorder() if tracing else None)
+        )
+        self.tracing = self.traces is not None
         self.max_retained_tickets = DEFAULT_MAX_RETAINED_TICKETS
         self._pending: List[SolveRequest] = []
         self._tickets: Dict[int, ServiceResult] = {}  # insertion-ordered
@@ -295,6 +314,15 @@ class MaxCutService:
         requests = list(requests)
         self.metrics.increment("requests", len(requests))
 
+        # Service-owned tracing: attach a fresh trace to each request that
+        # arrived without one; those are finished and recorded here.
+        owned_traces: List["TraceContext"] = []
+        if self.traces is not None:
+            for request in requests:
+                if not request.trace.enabled:
+                    request.trace = TraceContext()
+                    owned_traces.append(request.trace)
+
         keys = [self.describe(request) for request in requests]
         fps = [key.fp for key in keys]
         seeds = [key.seed for key in keys]
@@ -305,7 +333,7 @@ class MaxCutService:
         jobs: List[ScheduledJob] = []
         job_members: List[List[int]] = []  # per job: request indices served
         for idx, request in enumerate(requests):
-            results[idx] = self.lookup(keys[idx])
+            results[idx] = self.lookup(keys[idx], trace=request.trace)
             if results[idx] is not None:
                 continue
             digest = digests[idx]
@@ -325,6 +353,7 @@ class MaxCutService:
                     gw_options=dict(request.gw_options),
                     seed=seeds[idx],
                     exact=request.exact,
+                    trace=request.trace,
                 )
             )
             job_members.append([idx])
@@ -349,7 +378,8 @@ class MaxCutService:
                 )
                 if self._should_cache(raw, entry):
                     t0 = time.perf_counter()
-                    self.cache.put(entry)
+                    with requests[owner_idx].trace.span("store"):
+                        self.cache.put(entry)
                     self.metrics.observe("cache_store", time.perf_counter() - t0)
                 # Coalesced members share the digest, hence the canonical
                 # graph — but may label it differently.  Map the canonical
@@ -380,6 +410,9 @@ class MaxCutService:
         for res in out:
             self.metrics.observe("request", res.elapsed)
         self.metrics.observe("batch", time.perf_counter() - t_batch)
+        if self.traces is not None:
+            for trace in owned_traces:
+                self.traces.record(trace)
         return out
 
     # ------------------------------------------------------------------
@@ -394,21 +427,28 @@ class MaxCutService:
         fingerprint.
         """
         t0 = time.perf_counter()
-        fp = canonical_fingerprint(request.graph)
-        seed = self._resolve_seed(request, fp)
-        digest = request_digest(
-            fp.digest,
-            method=request.method,
-            options=request.options,
-            qaoa_grid=request.qaoa_grid,
-            gw_options=request.gw_options,
-            seed=seed,
-            exact=request.exact,
-        )
+        with request.trace.span("fingerprint") as span:
+            fp = canonical_fingerprint(request.graph)
+            seed = self._resolve_seed(request, fp)
+            digest = request_digest(
+                fp.digest,
+                method=request.method,
+                options=request.options,
+                qaoa_grid=request.qaoa_grid,
+                gw_options=request.gw_options,
+                seed=seed,
+                exact=request.exact,
+            )
+            span.set(fingerprint_prefix=fp.digest[:10])
         self.metrics.observe("fingerprint", time.perf_counter() - t0)
         return RequestKey(fp=fp, seed=seed, digest=digest)
 
-    def lookup(self, key: RequestKey) -> Optional[ServiceResult]:
+    def lookup(
+        self,
+        key: RequestKey,
+        *,
+        trace: "TraceContext | NullTraceContext" = NO_TRACE,
+    ) -> Optional[ServiceResult]:
         """Serve ``key`` from the cache if possible (counts the hit).
 
         Returns ``None`` on a miss — including hash collisions, which the
@@ -419,8 +459,11 @@ class MaxCutService:
         if not self.use_cache:
             return None
         t0 = time.perf_counter()
-        entry, tier = self.cache.get_tiered(key.digest)
-        if entry is not None and entry.matches(key.fp):
+        with trace.span("lookup") as span:
+            entry, tier = self.cache.get_tiered(key.digest)
+            hit = entry is not None and entry.matches(key.fp)
+            span.set(cache_tier=tier if hit else "miss")
+        if hit and entry is not None:
             return self._result_from_entry(
                 entry, key.fp, key.seed, tier, time.perf_counter() - t0
             )
@@ -533,11 +576,14 @@ class MaxCutService:
     # Reporting / export
     # ------------------------------------------------------------------
     def stats_report(self) -> str:
-        return (
+        report = (
             self.metrics.format_report("MaxCutService stats")
             + "\n\n"
             + self.cache.format_summary()
         )
+        if self.traces is not None and len(self.traces):
+            report += "\n\n" + self.traces.format_stage_table()
+        return report
 
     def export_knowledge(self, kb: Optional[KnowledgeBase] = None) -> KnowledgeBase:
         """Warm-start export: cached angles -> Fig. 3 knowledge base."""

@@ -1,7 +1,14 @@
-"""Shared utilities: RNG handling, timing, validation, lightweight logging."""
+"""Shared utilities: RNG handling, timing, validation, tracing primitives."""
 
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.util.timing import Timer, timed
+from repro.util.tracing import (
+    NO_TRACE,
+    Span,
+    TraceContext,
+    current_trace,
+    use_trace,
+)
 from repro.util.validation import check_probability, check_positive_int
 
 __all__ = [
@@ -11,4 +18,9 @@ __all__ = [
     "timed",
     "check_probability",
     "check_positive_int",
+    "NO_TRACE",
+    "Span",
+    "TraceContext",
+    "current_trace",
+    "use_trace",
 ]

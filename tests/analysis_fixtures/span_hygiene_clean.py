@@ -1,0 +1,26 @@
+# Fixture: well-scoped spans — every `.span(...)` is a with-item, and
+# already-elapsed intervals go through add_span (which never opens a
+# handle).  `re.Match.span()` look-alikes are out of scope.
+# repro: module=repro.service.fixture_span_ok
+import re
+
+
+def solve(trace, graph):
+    with trace.span("solve", method="qaoa"):
+        return graph
+
+
+def lookup(trace, cache, key):
+    with trace.span("lookup") as span:
+        entry = cache.get(key)
+        span.set(cache_tier="memory" if entry else "miss")
+        return entry
+
+
+def queue_wait(trace, enqueued, now, shard):
+    trace.add_span("shard-queue", enqueued, now, shard=shard)
+
+
+def regex_span(text):
+    match = re.search(r"\d+", text)
+    return None if match is None else match.span()

@@ -1,0 +1,24 @@
+# Fixture: span handles opened without `with` — the handle never exits,
+# so the span stays on the trace's open-span stack and every later span
+# nests under it.
+# repro: module=repro.service.fixture_span_leak
+
+
+def solve(trace, graph):
+    trace.span("solve", method="qaoa")  # expect: span-hygiene
+    return graph
+
+
+def lookup(trace, cache, key):
+    handle = trace.span("lookup")  # expect: span-hygiene
+    entry = cache.get(key)
+    handle.set(cache_tier="memory" if entry else "miss")
+    return entry
+
+
+def annotate_only(trace):
+    # expect: span-hygiene
+    return trace.span(
+        "fingerprint",
+        fingerprint_prefix="ab12",
+    )

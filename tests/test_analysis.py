@@ -249,10 +249,10 @@ class TestMutations:
         source = SRC / "service" / "server.py"
         text = source.read_text()
         assert "    def submit(" in text
-        assert "        hit = service.lookup(key)" in text
+        assert "        hit = service.lookup(key, trace=trace)" in text
         mutated = text.replace("    def submit(", "    async def submit(")
         mutated = mutated.replace(
-            "        hit = service.lookup(key)",
+            "        hit = service.lookup(key, trace=trace)",
             "        hit = await asyncio.to_thread(service.lookup, key)",
         )
         path = write_module(

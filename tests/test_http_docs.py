@@ -74,6 +74,65 @@ class TestArchitectureDoc:
             assert stage in text, f"architecture.md missing stage {stage!r}"
 
 
+class TestObservabilityDoc:
+    """docs/observability.md mirrors the code's vocabularies (ISSUE 9)."""
+
+    OBSERVABILITY_MD = REPO_ROOT / "docs" / "observability.md"
+
+    # Counter entries in the repro.service.metrics module docstring:
+    # ``name``  description  (one per line, flush left).
+    DOCSTRING_TOKEN_RE = re.compile(r"^``([a-z_<>]+)``", re.MULTILINE)
+    # Rows of the observability.md counter table: | `name` | meaning |
+    TABLE_TOKEN_RE = re.compile(r"^\|\s*`([a-z_<>]+)`\s*\|", re.MULTILINE)
+
+    def counter_section(self) -> str:
+        text = self.OBSERVABILITY_MD.read_text()
+        _, _, section = text.partition("## Counter vocabulary")
+        assert section, "observability.md lost its '## Counter vocabulary' section"
+        return section.split("\n## ", 1)[0]
+
+    def test_counter_table_matches_metrics_docstring(self):
+        from repro.service import metrics
+
+        assert metrics.__doc__ is not None
+        code_tokens = set(self.DOCSTRING_TOKEN_RE.findall(metrics.__doc__))
+        doc_tokens = set(self.TABLE_TOKEN_RE.findall(self.counter_section()))
+        assert doc_tokens and code_tokens
+        assert doc_tokens == code_tokens, (
+            "docs/observability.md counter table drifted from the "
+            "repro.service.metrics docstring — update both together; "
+            f"docs-only={sorted(doc_tokens - code_tokens)}, "
+            f"code-only={sorted(code_tokens - doc_tokens)}"
+        )
+
+    def test_span_vocabulary_is_documented(self):
+        text = self.OBSERVABILITY_MD.read_text()
+        for span in (
+            "request",
+            "wire-parse",
+            "await",
+            "shard-queue",
+            "coalesced-inflight",
+            "fingerprint",
+            "lookup",
+            "solve",
+            "store",
+            "cut_diagonal",
+            "evolve_chunk",
+            "walsh_stage",
+            "backend-evolve",
+        ):
+            assert f"`{span}`" in text, f"span {span!r} missing from observability.md"
+
+    def test_trace_header_and_endpoints_are_documented(self):
+        from repro.service.http import TRACE_HEADER, TRACE_ROUTE_PREFIX
+
+        for text in (self.OBSERVABILITY_MD.read_text(), HTTP_API_MD.read_text()):
+            assert TRACE_HEADER in text
+            assert f"{TRACE_ROUTE_PREFIX}<id>" in text
+            assert "/metrics" in text
+
+
 class TestReadme:
     def test_package_map_covers_every_subpackage(self):
         readme = README_MD.read_text()
@@ -95,6 +154,7 @@ class TestReadme:
             "benchmarks/README.md",
             "docs/architecture.md",
             "docs/http-api.md",
+            "docs/observability.md",
         ):
             assert link in readme, f"README missing link to {link}"
         assert "python -m pytest -x -q" in readme

@@ -212,4 +212,9 @@ class TestProtocolTables:
         }
 
     def test_route_table(self):
-        assert ROUTES == {"/solve": "POST", "/healthz": "GET", "/stats": "GET"}
+        assert ROUTES == {
+            "/solve": "POST",
+            "/healthz": "GET",
+            "/stats": "GET",
+            "/metrics": "GET",
+        }
