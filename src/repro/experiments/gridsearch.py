@@ -33,7 +33,7 @@ from repro.hpc.executor import ExecutorConfig, map_jobs
 from repro.ml.knowledge import GridRecord, KnowledgeBase
 from repro.qaoa.analytic import angle_axes
 from repro.qaoa.energy import MaxCutEnergy
-from repro.qaoa.engine import DEFAULT_CHUNK_SIZE, SweepEngine
+from repro.qaoa.engine import SweepEngine
 from repro.qaoa.params import default_iterations
 from repro.qaoa.solver import QAOASolver
 from repro.util.rng import RngLike, ensure_rng
@@ -305,7 +305,7 @@ def run_angle_grid(
     betas: Optional[np.ndarray] = None,
     *,
     resolution: int = 24,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
     engine: Optional[SweepEngine] = None,
     method: str = "batched",
 ) -> AngleGridResult:

@@ -54,8 +54,13 @@ class MaxCutEnergy:
         if self.diagonal.shape != (1 << self.n_qubits,):
             raise ValueError("diagonal length does not match the graph")
         self._backend_spec = backend
+        # batch=1: the pointwise objective has no sweep width, so the auto
+        # policy keeps it on the NumPy-family backends (a row-parallel
+        # compiled kernel has nothing to parallelise over here).
         self.backend = resolve_backend(
-            "numpy" if backend is None else backend, n_qubits=self.n_qubits
+            "numpy" if backend is None else backend,
+            n_qubits=self.n_qubits,
+            batch=1,
         )
         self._engine = None  # lazy SweepEngine for the batch path
         self._analytic = None  # lazy AnalyticP1Energy for the p=1 fast path

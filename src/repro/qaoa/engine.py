@@ -24,16 +24,20 @@ count is the bottleneck.  Either way the Python interpreter runs
 
 Memory model
 ------------
-Peak working set is two ``(chunk_size, 2**n)`` complex buffers (states +
-phase scratch) ≈ ``32 · chunk_size · 2**n`` bytes, regardless of how many
+Peak working set is two ``(chunk, 2**n)`` complex buffers (states +
+phase scratch) ≈ ``32 · chunk · 2**n`` bytes, regardless of how many
 parameter vectors are requested: ``energies()`` walks the batch in
-``chunk_size`` slices.  By default the chunk is sized to the qubit count
-(``auto_chunk_size``): small graphs get wide chunks that saturate the
-vectorised kernels, large graphs get narrow chunks whose working set
-stays cache-resident — at 14+ qubits an over-wide chunk spills the CPU
-cache and runs *slower* than the per-point loop it replaces.  Buffers
-live in a process-wide pool keyed by shape, so repeated engines over
-equal-sized graphs (the QAOA² partition loop) reuse the same
+chunk-row slices.  By default the chunk width is **backend-advised**:
+each sweep asks ``backend.preferred_chunk_size(n, batch=..., layers=...)``,
+so the elementwise ``numpy`` backend keeps the cache-resident sizing
+(at 14+ qubits an over-wide chunk spills the CPU cache and runs *slower*
+than the per-point loop it replaces) while the ``fused``/``compiled``
+backends — whose GEMM stages and parallel kernels *want* batch width —
+get the wide chunks they tolerate.  Chunking is strictly an execution
+detail: results are bit-identical for any chunk width (pinned in
+``tests/test_backends.py``), and an explicit ``chunk_size=`` pins it.
+Buffers live in a process-wide pool keyed by shape, so repeated engines
+over equal-sized graphs (the QAOA² partition loop) reuse the same
 allocations.
 
 Evaluation tiers
@@ -79,24 +83,27 @@ from repro.quantum.backend import (
     resolve_backend,
     shared_pool,
 )
+from repro.quantum.backend.base import (
+    CHUNK_BUDGET_BYTES,
+    DEFAULT_CHUNK_SIZE,
+    cache_resident_chunk_size,
+)
 from repro.util.tracing import current_trace
 
-DEFAULT_CHUNK_SIZE = 64
-# Target working set for one evaluation chunk (states + scratch): sized so
-# the hot buffers of a chunk stay cache-resident on a typical core.
-CHUNK_BUDGET_BYTES = 512 * 1024
 # Cap on the spectral angle-grid path's per-chunk working set (two
 # (rows, 2**n) complex buffers: transformed states + WHT scratch).
 SPECTRAL_BUDGET_BYTES = 256 * 1024 * 1024
 
 
 def auto_chunk_size(n_qubits: int) -> int:
-    """Default chunk rows for ``n_qubits``: as wide as possible while the
-    two ``(chunk, 2**n)`` complex work buffers fit ``CHUNK_BUDGET_BYTES``
-    (clamped to [1, DEFAULT_CHUNK_SIZE]).  Measured on the batched QAOA
-    kernels: past the cache budget, wider chunks *lose* to narrow ones."""
-    row_bytes = 2 * (1 << n_qubits) * 16  # states + scratch rows
-    return max(1, min(DEFAULT_CHUNK_SIZE, CHUNK_BUDGET_BYTES // row_bytes))
+    """The cache-resident chunk sizing (delegates to
+    :func:`repro.quantum.backend.base.cache_resident_chunk_size`).
+
+    Kept as the historical ``repro.qaoa`` entry point; the engine itself
+    now asks the backend (:meth:`StatevectorBackend.preferred_chunk_size`)
+    rather than calling this directly — elementwise backends return
+    exactly this value."""
+    return cache_resident_chunk_size(n_qubits)
 
 
 def spectral_row_bytes(n_qubits: int) -> int:
@@ -129,9 +136,7 @@ class SweepEngine:
     ) -> None:
         if graph.n_nodes < 1:
             raise ValueError("graph must have at least one node")
-        if chunk_size is None:
-            chunk_size = auto_chunk_size(graph.n_nodes)
-        if chunk_size < 1:
+        if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.graph = graph
         self.n_qubits = graph.n_nodes
@@ -141,6 +146,8 @@ class SweepEngine:
         # so a p=1 angle grid on a graph far past the statevector wall must
         # not allocate it as a construction side effect.
         self._diagonal = diagonal
+        # None → backend-advised per sweep (see chunk_rows); an explicit
+        # value pins the chunk width for every call.
         self.chunk_size = chunk_size
         self.pool = pool if pool is not None else shared_pool()
         # Resolved eagerly (the policy is a pure function of n), so a bad
@@ -187,6 +194,29 @@ class SweepEngine:
         return self.analytic.energies(params_matrix)
 
     # ------------------------------------------------------------------
+    def chunk_rows(
+        self, batch: int, layers: Optional[int] = None
+    ) -> int:
+        """The chunk width for a sweep of ``batch`` parameter rows.
+
+        An explicit ``chunk_size=`` pins it; otherwise the backend's
+        :meth:`~repro.quantum.backend.StatevectorBackend.preferred_chunk_size`
+        advice is used.  Either way the result is clamped to
+        ``[1, batch]`` (``batch=0`` sweeps still get a width of 1 so the
+        chunk walk is well-formed).  Chunking never changes results —
+        only working-set size and kernel batch width.
+        """
+        if self.chunk_size is not None:
+            advised = self.chunk_size
+        else:
+            advised = self.backend.preferred_chunk_size(
+                self.n_qubits, batch=batch, layers=layers
+            )
+        if batch > 0:
+            advised = min(advised, batch)
+        return max(1, int(advised))
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _params_matrix(params_matrix: np.ndarray) -> np.ndarray:
         """Canonicalise to ``(B, 2p)`` — one shared implementation with
@@ -211,13 +241,14 @@ class SweepEngine:
         bounded for arbitrarily large sweeps.
         """
         mat = self._params_matrix(params_matrix)
+        chunk = self.chunk_rows(mat.shape[0], mat.shape[1] // 2)
         current_trace().annotate(
-            chunk_count=-(-mat.shape[0] // self.chunk_size),
-            chunk_size=self.chunk_size,
+            chunk_count=-(-mat.shape[0] // chunk),
+            chunk_size=chunk,
         )
         out = np.empty(mat.shape[0], dtype=np.float64)
-        for start in range(0, mat.shape[0], self.chunk_size):
-            stop = min(start + self.chunk_size, mat.shape[0])
+        for start in range(0, mat.shape[0], chunk):
+            stop = min(start + chunk, mat.shape[0])
             states = self._evolve_chunk(mat[start:stop])
             out[start:stop] = self.backend.expectations_batch(states, self.diagonal)
         return out
@@ -234,9 +265,10 @@ class SweepEngine:
         validation and small batches, not huge sweeps.
         """
         mat = self._params_matrix(params_matrix)
+        chunk = self.chunk_rows(mat.shape[0], mat.shape[1] // 2)
         out = np.empty((mat.shape[0], 1 << self.n_qubits), dtype=np.complex128)
-        for start in range(0, mat.shape[0], self.chunk_size):
-            stop = min(start + self.chunk_size, mat.shape[0])
+        for start in range(0, mat.shape[0], chunk):
+            stop = min(start + chunk, mat.shape[0])
             out[start:stop] = self._evolve_chunk(mat[start:stop])
         return out
 
@@ -355,7 +387,7 @@ class SweepEngine:
         rows = max(
             1,
             min(
-                self.chunk_size,
+                self.chunk_rows(len(gammas), 1),
                 SPECTRAL_BUDGET_BYTES // spectral_row_bytes(n),
             ),
         )

@@ -5,9 +5,10 @@ engine, solvers, RQAOA, QAOA² leaves, the service scheduler, the
 reference simulator/noise loops) and the numerical kernels that evolve
 statevectors.  Consumers speak :class:`StatevectorBackend`; kernel
 implementations live behind it (``numpy`` — the bit-identical reference;
-``fused`` — FWHT-diagonalised mixer), and new ones (numba, GPU,
-distributed) plug in via :func:`register_backend` without touching any
-caller.
+``fused`` — FWHT-diagonalised mixer; ``compiled`` — numba-JIT'd parallel
+kernels, available only where numba is installed and raising
+:class:`BackendUnavailable` otherwise), and new ones (GPU, distributed)
+plug in via :func:`register_backend` without touching any caller.
 
 The raw layer kernels are intentionally re-exported here: this package
 is their sanctioned import surface — nothing outside it (besides the
@@ -15,10 +16,19 @@ is their sanctioned import surface — nothing outside it (besides the
 ``repro.quantum.statevector`` directly.
 """
 
-from repro.quantum.backend.base import StatevectorBackend
+from repro.quantum.backend.base import (
+    CHUNK_BUDGET_BYTES,
+    DEFAULT_CHUNK_SIZE,
+    BackendUnavailable,
+    StatevectorBackend,
+    cache_resident_chunk_size,
+)
+from repro.quantum.backend.compiled import CompiledBackend, numba_available
 from repro.quantum.backend.fused import FusedBackend
 from repro.quantum.backend.numpy_backend import NumpyBackend
 from repro.quantum.backend.registry import (
+    COMPILED_MIN_QUBITS,
+    COMPILED_MIN_WORK_ROWS,
     FUSED_MIN_QUBITS,
     auto_backend_name,
     available_backends,
@@ -38,8 +48,14 @@ from repro.quantum.statevector import (  # noqa: F401 — sanctioned re-exports
 )
 
 __all__ = [
+    "CHUNK_BUDGET_BYTES",
+    "COMPILED_MIN_QUBITS",
+    "COMPILED_MIN_WORK_ROWS",
+    "DEFAULT_CHUNK_SIZE",
     "DEFAULT_POOL_BUDGET_BYTES",
     "FUSED_MIN_QUBITS",
+    "BackendUnavailable",
+    "CompiledBackend",
     "FusedBackend",
     "NumpyBackend",
     "ScratchPool",
@@ -48,7 +64,9 @@ __all__ = [
     "apply_rx_layer",
     "auto_backend_name",
     "available_backends",
+    "cache_resident_chunk_size",
     "get_backend",
+    "numba_available",
     "register_backend",
     "resolve_backend",
     "shared_pool",

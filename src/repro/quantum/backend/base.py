@@ -15,8 +15,10 @@ expressed in six operations:
 * :meth:`StatevectorBackend.expectations_batch` — ⟨ψ|H_C|ψ⟩ per row,
 
 plus :meth:`walsh_transform` (the unnormalised Walsh–Hadamard transform
-used by the spectral angle-grid tier and by fused-mixer backends) and
-scratch management via :class:`repro.quantum.backend.scratch.ScratchPool`.
+used by the spectral angle-grid tier and by fused-mixer backends),
+advisory chunk sizing via :meth:`preferred_chunk_size` (the sweep engine
+asks the backend how wide its evaluation chunks should be), and scratch
+management via :class:`repro.quantum.backend.scratch.ScratchPool`.
 Implementations differ only in *how* they realise the operations (NumPy
 passes, fused FWHT kernels, future numba/GPU/distributed backends); all
 must agree numerically to ≤1e-12 with :class:`NumpyBackend`, which is the
@@ -38,6 +40,32 @@ import numpy as np
 from repro.quantum.backend.scratch import ScratchPool, shared_pool
 from repro.quantum.statevector import n_qubits_for_dim, plus_state
 from repro.util.tracing import current_trace
+
+# Default sweep-chunk sizing (the cache-resident policy the engine has
+# always used): as many rows as keep the two (chunk, 2**n) complex work
+# buffers inside CHUNK_BUDGET_BYTES, capped at DEFAULT_CHUNK_SIZE rows.
+# Backends that tolerate (or want) wider chunks override
+# :meth:`StatevectorBackend.preferred_chunk_size`.
+DEFAULT_CHUNK_SIZE = 64
+CHUNK_BUDGET_BYTES = 512 * 1024
+
+
+def cache_resident_chunk_size(n_qubits: int) -> int:
+    """Chunk rows for which states + scratch fit ``CHUNK_BUDGET_BYTES``
+    (clamped to [1, DEFAULT_CHUNK_SIZE]).  Measured on the batched NumPy
+    QAOA kernels: past the cache budget, wider chunks *lose* to narrow
+    ones, so this is the advisory default for elementwise backends."""
+    row_bytes = 2 * (1 << n_qubits) * 16  # states + scratch rows
+    return max(1, min(DEFAULT_CHUNK_SIZE, CHUNK_BUDGET_BYTES // row_bytes))
+
+
+class BackendUnavailable(RuntimeError):
+    """A registered backend cannot run in this environment (e.g. the
+    ``compiled`` backend when numba is not installed).
+
+    Raised at resolve/instantiation time so callers fail with a clear
+    message instead of an ImportError mid-sweep; the auto policy never
+    selects an unavailable backend."""
 
 
 class StatevectorBackend(ABC):
@@ -103,6 +131,29 @@ class StatevectorBackend(ABC):
     ) -> np.ndarray:
         """⟨ψ_b| D |ψ_b⟩ for every row of a ``(B, 2**n)`` batch (real D)."""
 
+    # -- chunk advice -----------------------------------------------------
+    def preferred_chunk_size(
+        self,
+        n_qubits: int,
+        *,
+        batch: Optional[int] = None,
+        layers: Optional[int] = None,
+    ) -> int:
+        """Advisory sweep-chunk width for this backend (rows per chunk).
+
+        :class:`~repro.qaoa.engine.SweepEngine` consults this instead of
+        hard-wiring the cache-budget heuristic, so backends whose kernels
+        *want* wide batches (fused BLAS stages, compiled parallel loops)
+        can ask for them while elementwise backends keep the
+        cache-resident default.  Strictly advisory: results must be
+        **bit-identical** for any chunking (pinned by
+        ``tests/test_backends.py::TestChunkPolicy``), and the returned
+        value must be a pure function of the arguments.  ``batch``/
+        ``layers`` describe the sweep about to run when known; the engine
+        clamps the advice to ``[1, batch]``.
+        """
+        return cache_resident_chunk_size(n_qubits)
+
     # -- composed evolution ---------------------------------------------
     def evolve_batch(
         self,
@@ -164,4 +215,10 @@ class StatevectorBackend(ABC):
         return f"<{type(self).__name__} name={self.name!r}>"
 
 
-__all__ = ["StatevectorBackend"]
+__all__ = [
+    "CHUNK_BUDGET_BYTES",
+    "DEFAULT_CHUNK_SIZE",
+    "BackendUnavailable",
+    "StatevectorBackend",
+    "cache_resident_chunk_size",
+]

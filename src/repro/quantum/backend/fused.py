@@ -46,6 +46,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.quantum.backend.base import DEFAULT_CHUNK_SIZE
 from repro.quantum.backend.numpy_backend import NumpyBackend
 from repro.quantum.backend.scratch import ScratchPool, shared_pool
 from repro.quantum.statevector import n_qubits_for_dim
@@ -63,6 +64,29 @@ HIGH_STAGE_QUBITS = 5
 # turns the dominant full-size complex exponential of every cost layer
 # into a table lookup.
 COST_GATHER_MAX_VALUES = 4096
+# Weighted diagonals (value-rich: more distinct values than the exact
+# gather tolerates) are *bucketed* onto ≤COST_GATHER_MAX_VALUES uniform
+# levels instead: the coarse phase is a gather, and the small residual
+# d − level is corrected by exp(-iγr)'s Taylor polynomial — evaluated as
+# one complex GEMM, (B, K) γ-coefficients against a cached (K, dim)
+# residual-power table, so the whole correction is a single output-bound
+# matmul pass instead of ~10 elementwise passes (which measure *slower*
+# than the dense exp once the float temporaries fall out of cache).
+# Only applied where it pays:
+COST_BUCKET_MIN_DIM = 1024  # below this the dense exp is already cheap
+# Taylor order: exp(-ix) through x⁷, remainder |x|⁸/8! ≤ 2.5e-13 at the
+# validity bound below — inside the ≤1e-12 cross-backend parity budget.
+COST_RESIDUAL_ORDER = 7
+# Validity bound on |x| = |γ·residual|; calls with max|γ|·rmax beyond it
+# fall back to the dense exponential (bit-identical to NumpyBackend).
+COST_RESIDUAL_X_MAX = 0.1
+# The fused mixer's BLAS stages *want* batch width (a wider GEMM amortises
+# the stage-matrix build and keeps the kernel in its blocked regime), so
+# its chunk advice budgets the two (chunk, 2**n) work buffers far above
+# the elementwise cache-resident default.  16 MiB ≈ 8 rows at n=16 — the
+# measured sweet spot on the n=16 batched p=2 bench (wider chunks start
+# spilling the shared cache and the weighted-gather win shrinks).
+FUSED_CHUNK_BUDGET_BYTES = 16 * 1024 * 1024
 
 
 class FusedBackend(NumpyBackend):
@@ -78,9 +102,10 @@ class FusedBackend(NumpyBackend):
         self._popcounts: Dict[int, np.ndarray] = {}
         self._eigenvalues: Dict[int, np.ndarray] = {}
         # Per cost diagonal (keyed by object identity, guarded by a weak
-        # reference): its unique-value decomposition, or None when the
-        # diagonal is too rich for the gather path.
-        self._cost_cache: Dict[int, Tuple[object, Optional[np.ndarray], Optional[np.ndarray]]] = {}
+        # reference): ("exact", values, inverse) for few-valued diagonals,
+        # ("bucket", reps, idx, residual, rmax) for value-rich (weighted)
+        # ones, or None when only the dense exponential applies.
+        self._cost_cache: Dict[int, Tuple] = {}
 
     # -- cached stage tables --------------------------------------------
     def _stage_tables(self, s: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -126,33 +151,107 @@ class FusedBackend(NumpyBackend):
         return out
 
     # -- quantised cost layer --------------------------------------------
-    def _cost_table(
-        self, diagonal: np.ndarray
-    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """``(values, inverse)`` of the diagonal's unique decomposition,
-        or ``None`` when the diagonal has too many distinct values.
+    def _cost_table(self, diagonal: np.ndarray) -> Optional[Tuple]:
+        """The diagonal's gather decomposition, cached per array identity.
 
-        Cached per diagonal array (engines hold one stable diagonal per
-        graph); a dead weak reference means the id was recycled and the
-        entry is rebuilt.  ``values[inverse]`` reproduces the diagonal
-        *exactly*, so the gathered phases are bit-identical to the dense
-        exponential.
+        ``("exact", values, inverse)`` — few distinct values (unweighted
+        graphs): ``values[inverse]`` reproduces the diagonal *exactly*,
+        so gathered phases are bit-identical to the dense exponential.
+
+        ``("bucket", reps, idx, rpow, rmax)`` — value-rich (weighted)
+        diagonals bucketed onto ≤``COST_GATHER_MAX_VALUES`` uniform
+        levels: ``reps[idx] + r`` reproduces the diagonal to one ulp with
+        ``|r| ≤ rmax`` (about half the level step), small enough that the
+        phase correction is a short Taylor polynomial in ``γ·r`` — whose
+        residual-power table ``rpow[k] = r**k`` (complex, GEMM-ready) is
+        precomputed here.  Built only where the correction pass pays
+        (``COST_BUCKET_MIN_DIM``, levels ≪ dim).
+
+        ``None`` — dense exponential only.  A dead weak reference means
+        the id was recycled and the entry is rebuilt.
         """
         key = id(diagonal)
         rec = self._cost_cache.get(key)
         if rec is not None and rec[0]() is diagonal:
-            return None if rec[1] is None else (rec[1], rec[2])
+            return rec[1]
         try:
             ref = weakref.ref(diagonal, lambda _, k=key: self._cost_cache.pop(k, None))
         except TypeError:  # non-weakref-able duck array
             return None
+        dim = diagonal.size
         values, inverse = np.unique(diagonal, return_inverse=True)
-        if len(values) > min(COST_GATHER_MAX_VALUES, diagonal.size // 4):
-            self._cost_cache[key] = (ref, None, None)
-            return None
         inverse = np.ascontiguousarray(inverse.reshape(-1), dtype=np.intp)
-        self._cost_cache[key] = (ref, values, inverse)
-        return values, inverse
+        if len(values) <= min(COST_GATHER_MAX_VALUES, dim // 4):
+            desc: Optional[Tuple] = ("exact", values, inverse)
+        else:
+            desc = self._bucket_table(values, inverse, dim)
+        self._cost_cache[key] = (ref, desc)
+        return desc
+
+    @staticmethod
+    def _bucket_table(
+        values: np.ndarray, inverse: np.ndarray, dim: int
+    ) -> Optional[Tuple]:
+        """Uniform-level bucketing of a value-rich diagonal, or ``None``
+        when the residual pass would not pay (small state, degenerate
+        range, or too many levels relative to the dimension)."""
+        levels = min(COST_GATHER_MAX_VALUES, dim // 4)
+        lo, hi = float(values[0]), float(values[-1])
+        if (
+            dim < COST_BUCKET_MIN_DIM
+            or levels < 2
+            or not np.isfinite(hi - lo)
+            or hi <= lo
+        ):
+            return None
+        step = (hi - lo) / (levels - 1)
+        reps = lo + step * np.arange(levels)
+        which = np.clip(np.rint((values - lo) / step), 0, levels - 1).astype(np.intp)
+        resid_per_value = values - reps[which]
+        idx = np.ascontiguousarray(which[inverse])
+        residual = resid_per_value[inverse]
+        rmax = float(np.abs(resid_per_value).max())
+        # Residual-power table for the Taylor GEMM: rpow[k] = residual**k,
+        # stored complex so the per-call matmul is a plain zgemm with no
+        # upcast copy.  (ORDER+1)·dim·16 bytes — 8 MiB at n=16, cached for
+        # the diagonal's lifetime via the weak reference above.
+        powers = np.empty((COST_RESIDUAL_ORDER + 1, dim), dtype=np.float64)
+        powers[0] = 1.0
+        for k in range(1, COST_RESIDUAL_ORDER + 1):
+            np.multiply(powers[k - 1], residual, out=powers[k])
+        rpow = powers.astype(np.complex128)
+        return ("bucket", reps, idx, rpow, rmax)
+
+    @staticmethod
+    def _residual_coeffs(gam: np.ndarray) -> np.ndarray:
+        """Per-row Taylor coefficients of ``exp(-iγ·r)``:
+        ``P[b, k] = (-iγ_b)**k / k!`` — the ``(B, K)`` left factor of the
+        correction GEMM against the cached residual-power table."""
+        coeffs = np.empty((gam.size, COST_RESIDUAL_ORDER + 1), dtype=np.complex128)
+        coeffs[:, 0] = 1.0
+        base = -1j * gam
+        for k in range(1, COST_RESIDUAL_ORDER + 1):
+            np.multiply(coeffs[:, k - 1], base, out=coeffs[:, k])
+            coeffs[:, k] /= k
+        return coeffs
+
+    def _residual_rotation(
+        self, gam: np.ndarray, rpow: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """``exp(-iγ_b·r)`` per row via the Taylor GEMM, written to ``out``.
+
+        A one-row matmul dispatches to BLAS's vector kernel, whose
+        accumulation over the Taylor axis differs from the batched GEMM's
+        at ~1e-15 — enough to break the chunk-width invariance the engine
+        pins (``TestChunkPolicy``).  Single rows are therefore evaluated
+        as a duplicated two-row GEMM, keeping every batch width on the
+        same kernel.
+        """
+        coeffs = self._residual_coeffs(gam)
+        if gam.size == 1:
+            out[...] = np.matmul(coeffs[[0, 0]], rpow)[:1]
+            return out
+        return np.matmul(coeffs, rpow, out=out)
 
     def apply_cost_layer(
         self,
@@ -165,22 +264,50 @@ class FusedBackend(NumpyBackend):
         table = self._cost_table(diagonal)
         if table is None:
             return super().apply_cost_layer(states, diagonal, gammas, scratch=scratch)
-        values, inverse = table
         gam = np.asarray(gammas, dtype=np.float64)
         if states.ndim == 1:
             if gam.ndim != 0:
                 raise ValueError("per-row gammas require a batched (B, dim) state")
             if diagonal.shape != states.shape:
                 raise ValueError("diagonal length mismatch")
-            states *= np.take(np.exp(-1j * gam * values), inverse)
-            return states
-        if states.ndim != 2 or gam.shape != (states.shape[0],):
+        elif states.ndim != 2 or gam.shape != (states.shape[0],):
             raise ValueError(
                 f"expected states (B, dim) and gammas (B,), got "
                 f"{states.shape} / {gam.shape}"
             )
-        if diagonal.shape != states.shape[-1:]:
+        elif diagonal.shape != states.shape[-1:]:
             raise ValueError("diagonal length mismatch")
+        if table[0] == "bucket":
+            _, reps, idx, rpow, rmax = table
+            xmax = float(np.abs(gam).max()) * rmax if gam.size else 0.0
+            if xmax > COST_RESIDUAL_X_MAX:
+                # γ too large for the polynomial budget: dense exponential
+                # (same expression as NumpyBackend, bit-identical to it).
+                return super().apply_cost_layer(
+                    states, diagonal, gammas, scratch=scratch
+                )
+            batched = states if states.ndim == 2 else states.reshape(1, -1)
+            if (
+                scratch is not None
+                and scratch.shape == states.shape
+                and scratch.dtype == states.dtype
+            ):
+                buf = scratch.reshape(batched.shape)
+            else:
+                buf = np.empty_like(batched)
+            gam1 = gam.reshape(-1)
+            # Residual rotation first (GEMM into the scratch), then the
+            # coarse gathered phase reusing the same buffer.
+            self._residual_rotation(gam1, rpow, buf)
+            batched *= buf
+            coarse = np.exp(np.multiply.outer(-1j * gam1, reps))
+            np.take(coarse, idx, axis=1, out=buf)
+            batched *= buf
+            return states
+        _, values, inverse = table
+        if states.ndim == 1:
+            states *= np.take(np.exp(-1j * gam * values), inverse)
+            return states
         phase = np.exp(np.multiply.outer(-1j * gam, values))
         if (
             scratch is not None
@@ -192,6 +319,26 @@ class FusedBackend(NumpyBackend):
         else:
             states *= np.take(phase, inverse, axis=1)
         return states
+
+    # -- chunk advice -----------------------------------------------------
+    def preferred_chunk_size(
+        self,
+        n_qubits: int,
+        *,
+        batch: Optional[int] = None,
+        layers: Optional[int] = None,
+    ) -> int:
+        """Wide chunks: the blocked GEMM stages amortise their stage-matrix
+        builds over the batch, so starve them of width (the elementwise
+        cache budget yields 1-row chunks at n=16) and the fused win
+        evaporates.  Budgeted by ``FUSED_CHUNK_BUDGET_BYTES`` over the two
+        (chunk, 2**n) work buffers, capped at ``DEFAULT_CHUNK_SIZE`` rows
+        and the sweep batch when known."""
+        row_bytes = 2 * (1 << n_qubits) * 16
+        advised = max(1, min(DEFAULT_CHUNK_SIZE, FUSED_CHUNK_BUDGET_BYTES // row_bytes))
+        if batch is not None:
+            advised = max(1, min(advised, batch))
+        return advised
 
     # -- the fused mixer -------------------------------------------------
     def apply_mixer_layer(
@@ -295,12 +442,23 @@ class FusedBackend(NumpyBackend):
             states = pool.take("states", (m, dim))
             scratch = pool.take("phases", (m, dim))
             table = self._cost_table(diagonal)
+            gam0 = mat[:, 0]
+            if table is not None and table[0] == "bucket":
+                _, reps, idx, rpow, rmax = table
+                xmax = float(np.abs(gam0).max()) * rmax if gam0.size else 0.0
+                if xmax > COST_RESIDUAL_X_MAX:
+                    table = None  # dense exponential for this γ range
+                else:
+                    coarse = np.exp(np.multiply.outer(-1j * gam0, reps))
+                    np.take(coarse, idx, axis=1, out=states)
+                    self._residual_rotation(gam0, rpow, scratch)
+                    states *= scratch
             if table is None:
-                np.multiply.outer(-1j * mat[:, 0], diagonal, out=states)
+                np.multiply.outer(-1j * gam0, diagonal, out=states)
                 np.exp(states, out=states)
-            else:
-                values, inverse = table
-                phase = np.exp(np.multiply.outer(-1j * mat[:, 0], values))
+            elif table[0] == "exact":
+                _, values, inverse = table
+                phase = np.exp(np.multiply.outer(-1j * gam0, values))
                 np.take(phase, inverse, axis=1, out=states)
             self.apply_mixer_layer(
                 states, mat[:, p], scratch=scratch, scale=1.0 / np.sqrt(dim)
@@ -311,4 +469,13 @@ class FusedBackend(NumpyBackend):
             return states
 
 
-__all__ = ["FusedBackend", "HIGH_STAGE_QUBITS", "LOW_STAGE_QUBITS"]
+__all__ = [
+    "COST_BUCKET_MIN_DIM",
+    "COST_GATHER_MAX_VALUES",
+    "COST_RESIDUAL_ORDER",
+    "COST_RESIDUAL_X_MAX",
+    "FUSED_CHUNK_BUDGET_BYTES",
+    "FusedBackend",
+    "HIGH_STAGE_QUBITS",
+    "LOW_STAGE_QUBITS",
+]

@@ -1,12 +1,21 @@
 """The reference backend: a thin wrapper over the seed NumPy kernels.
 
-``NumpyBackend`` delegates every operation 1:1 to
+``NumpyBackend`` delegates the evolution operations 1:1 to
 :mod:`repro.quantum.statevector` — same ufunc sequence, same scratch
-discipline, same reduction order — so its results are **bit-identical**
-to the pre-backend-layer code paths (pinned by the golden angle-grid
-regression in ``tests/test_sweep_engine.py``).  It is both the default
-for small problems and the parity oracle every other backend is tested
-against.
+discipline, same reduction order — so evolved statevectors are
+**bit-identical** to the pre-backend-layer code paths (pinned by the
+golden-path tests in ``tests/test_backends.py``).  It is both the
+default for small problems and the parity oracle every other backend is
+tested against.
+
+The one deliberate deviation is :meth:`NumpyBackend.expectations_batch`:
+the seed kernel's BLAS GEMV partitions its accumulation by the *row
+count*, so the same statevector row reduced inside different batch
+widths drifts at ~1e-14 — which would make sweep results depend on the
+engine's chunk policy.  The backend reduces each row independently
+instead (pairwise over the state dimension only), so energies are
+identical no matter how a sweep is chunked
+(``tests/test_backends.py::TestChunkPolicy``).
 """
 
 from __future__ import annotations
@@ -19,7 +28,6 @@ from repro.quantum.backend.base import StatevectorBackend
 from repro.quantum.statevector import (
     apply_phases_batch,
     apply_rx_layer,
-    expectation_diagonal_batch,
     plus_state_batch,
     walsh_hadamard_batch,
 )
@@ -73,7 +81,12 @@ class NumpyBackend(StatevectorBackend):
     def expectations_batch(
         self, states: np.ndarray, diagonal: np.ndarray
     ) -> np.ndarray:
-        return expectation_diagonal_batch(states, diagonal)
+        # Row-independent reduction (not the seed GEMV) so each row's
+        # energy is a pure function of that row alone — see the module
+        # docstring for why chunk-width invariance requires this.
+        probs = np.abs(states) ** 2
+        probs *= np.real(diagonal)
+        return probs.sum(axis=-1)
 
 
 __all__ = ["NumpyBackend"]

@@ -1,0 +1,18 @@
+# Fixture: the sanctioned pattern — numba imported lazily, inside a
+# function, inside repro.quantum.backend (mirrors compiled.py).
+# repro: module=repro.quantum.backend.fixture_compiled_ok
+
+
+def numba_available():
+    try:
+        import numba  # noqa: F401 — lazy availability probe
+    except ImportError:
+        return False
+    return True
+
+
+def jit_kernels(kernels):
+    import numba
+
+    jit = numba.njit(parallel=True, cache=True)
+    return {name: jit(fn) for name, fn in kernels.items()}

@@ -1,0 +1,18 @@
+# Fixture: numba touched outside the backend package, plus an eager
+# module-level import inside it (both break the optional-dependency seam).
+# repro: module=repro.qaoa.fixture_compiled
+import numba  # expect: compiled-seam
+from numba import njit  # expect: compiled-seam
+
+
+@njit
+def hot_loop(values):
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def jit_probe():
+    import numba.typed  # expect: compiled-seam
+    return numba.typed

@@ -8,7 +8,9 @@ Three layers of guarantees:
   ``run_qaoa_reference``, the noise-trajectory loop) reproduce the
   pre-refactor implementations *bit-exactly* on the ``numpy`` backend
   (the old loops are inlined here as the golden reference);
-* **registry** — auto policy, registration, and error behaviour.
+* **registry** — auto policy, registration, and error behaviour;
+* **chunk policy** — backend chunk advice is pure and strictly
+  advisory: sweep results are bit-identical for every chunk width.
 """
 
 import numpy as np
@@ -17,14 +19,21 @@ import pytest
 from repro.graphs import cut_diagonal, erdos_renyi
 from repro.qaoa import MaxCutEnergy, SweepEngine
 from repro.quantum.backend import (
+    COMPILED_MIN_QUBITS,
+    COMPILED_MIN_WORK_ROWS,
+    DEFAULT_CHUNK_SIZE,
     FUSED_MIN_QUBITS,
+    BackendUnavailable,
+    CompiledBackend,
     FusedBackend,
     NumpyBackend,
     ScratchPool,
     StatevectorBackend,
     auto_backend_name,
     available_backends,
+    cache_resident_chunk_size,
     get_backend,
+    numba_available,
     register_backend,
     resolve_backend,
 )
@@ -134,9 +143,11 @@ class TestCrossBackendParity:
             np.testing.assert_allclose(a, b, atol=PARITY_ATOL)
 
     def test_weighted_and_unweighted_cost_paths_agree(self):
-        # Unweighted diagonals take the fused gather path, weighted ones
-        # the dense exponential — both must match numpy bitwise-exactly
-        # in the inputs they feed exp(), hence ≤1e-12 after the mixer.
+        # Unweighted diagonals take the fused exact-gather path; weighted
+        # ones at this size (dim < COST_BUCKET_MIN_DIM) the dense
+        # exponential — both must match numpy to ≤1e-12 after the mixer.
+        # (Weighted diagonals at dim ≥ 1024 take the bucketed-residual
+        # path, covered by test_weighted_bucket_residual_parity below.)
         fused = FusedBackend()
         numpy_backend = NumpyBackend()
         rng = np.random.default_rng(3)
@@ -159,6 +170,46 @@ class TestCrossBackendParity:
         gammas = np.array([0.3, -1.2, 2.5])
         ref.apply_cost_layer(states_a, diag, gammas)
         fused.apply_cost_layer(states_b, diag, gammas)
+        np.testing.assert_array_equal(states_a, states_b)
+
+    def test_weighted_bucket_residual_parity(self):
+        # dim ≥ COST_BUCKET_MIN_DIM puts weighted diagonals on the
+        # bucketed quantisation + Taylor-residual-GEMM path; parity must
+        # hold through full evolutions, and the cost table must really be
+        # the bucketed one (not a silent dense fallback).
+        from repro.quantum.backend.fused import COST_BUCKET_MIN_DIM
+
+        n = 11
+        assert (1 << n) >= COST_BUCKET_MIN_DIM
+        fused, ref = FusedBackend(), NumpyBackend()
+        graph = erdos_renyi(n, 0.4, weighted=True, rng=12)
+        diag = cut_diagonal(graph)
+        table = fused._cost_table(diag)
+        assert table is not None and table[0] == "bucket"
+        rng = np.random.default_rng(5)
+        mat = rng.uniform(-np.pi, np.pi, (7, 6))
+        a = ref.evolve_batch(diag, mat).copy()
+        b = fused.evolve_batch(diag, mat).copy()
+        np.testing.assert_allclose(a, b, atol=PARITY_ATOL)
+
+    def test_bucket_residual_large_gamma_falls_back_dense(self):
+        # Past the Taylor validity bound (|γ|·rmax > COST_RESIDUAL_X_MAX)
+        # the bucket path must defer to the dense exponential —
+        # bit-identical to numpy — rather than degrade in accuracy.
+        from repro.quantum.backend.fused import COST_RESIDUAL_X_MAX
+
+        n = 11
+        fused, ref = FusedBackend(), NumpyBackend()
+        graph = erdos_renyi(n, 0.4, weighted=True, rng=12)
+        diag = cut_diagonal(graph)
+        table = fused._cost_table(diag)
+        assert table is not None and table[0] == "bucket"
+        rmax = table[4]
+        big = np.full(3, 2.0 * COST_RESIDUAL_X_MAX / rmax)
+        states_a = ref.plus_state_batch(n, 3)
+        states_b = fused.plus_state_batch(n, 3)
+        ref.apply_cost_layer(states_a, diag, big)
+        fused.apply_cost_layer(states_b, diag, big)
         np.testing.assert_array_equal(states_a, states_b)
 
     def test_mixer_shapes_and_validation(self):
@@ -318,6 +369,170 @@ class TestRegistry:
 
     def test_subclass_contract(self):
         assert isinstance(get_backend("fused"), StatevectorBackend)
+
+    def test_compiled_registered_but_gated(self):
+        # The name is always discoverable (CLI choices, docs); whether
+        # the instance can be built depends only on numba availability.
+        assert "compiled" in available_backends()
+        if numba_available():
+            assert get_backend("compiled").name == "compiled"
+        else:
+            with pytest.raises(BackendUnavailable, match="numba"):
+                get_backend("compiled")
+
+    def test_auto_policy_is_pure(self):
+        # Referenced from the registry module docstring: a given
+        # (n_qubits, layers, batch) shape always resolves identically —
+        # no hidden state beyond process-constant numba availability.
+        shapes = [
+            (None, None, None),
+            (8, 1, 1),
+            (FUSED_MIN_QUBITS, 2, 24),
+            (COMPILED_MIN_QUBITS, 2, 24),
+            (COMPILED_MIN_QUBITS, 1, 1),
+            (COMPILED_MIN_QUBITS, None, None),
+            (20, 3, 256),
+        ]
+        for n, layers, batch in shapes:
+            first = auto_backend_name(n, layers, batch)
+            for _ in range(3):
+                assert auto_backend_name(n, layers, batch) == first
+            assert (
+                resolve_backend(
+                    "auto", n_qubits=n, layers=layers, batch=batch
+                ).name
+                == first
+            )
+
+    def test_auto_policy_work_row_hints(self):
+        # layers/batch gate the compiled pick: pointwise solves (the
+        # batch=1 hint MaxCutEnergy passes) stay NumPy-family; real
+        # sweeps above the crossover go compiled when numba is present.
+        big_sweep = "compiled" if numba_available() else "fused"
+        n = COMPILED_MIN_QUBITS
+        assert auto_backend_name(n, 2, 24) == big_sweep
+        assert auto_backend_name(n, None, None) == big_sweep  # shape unknown
+        assert auto_backend_name(n, 1, 1) == "fused"  # below min work rows
+        assert auto_backend_name(n, 1, COMPILED_MIN_WORK_ROWS) == big_sweep
+        assert auto_backend_name(n - 1, 2, 24) == "fused"  # below crossover
+
+
+# ---------------------------------------------------------------------------
+# Chunk policy: advice is pure, engine-consulted, and strictly advisory
+# ---------------------------------------------------------------------------
+def _chunk_policy_backends():
+    """One instance per registered backend; on numba-less installs the
+    compiled backend participates through its interpreted kernel mode
+    (same bodies, same per-row arithmetic)."""
+    instances = [get_backend("numpy"), get_backend("fused")]
+    try:
+        instances.append(get_backend("compiled"))
+    except BackendUnavailable:
+        instances.append(CompiledBackend(mode="python"))
+    return instances
+
+
+class TestChunkPolicy:
+    """Results must be bit-identical no matter how a sweep is chunked
+    (referenced from the ``preferred_chunk_size`` protocol docstring)."""
+
+    def test_numpy_advice_is_cache_resident(self):
+        backend = get_backend("numpy")
+        for n in (4, 10, 14, 16, 20):
+            assert backend.preferred_chunk_size(n) == cache_resident_chunk_size(n)
+        assert backend.preferred_chunk_size(16) == 1  # past the cache budget
+        assert backend.preferred_chunk_size(4) == DEFAULT_CHUNK_SIZE
+
+    def test_fused_advice_wants_blas_width(self):
+        from repro.quantum.backend.fused import FUSED_CHUNK_BUDGET_BYTES
+
+        backend = get_backend("fused")
+        for n in (12, 14, 16, 18):
+            expected = max(
+                1,
+                min(
+                    DEFAULT_CHUNK_SIZE,
+                    FUSED_CHUNK_BUDGET_BYTES // (2 * (1 << n) * 16),
+                ),
+            )
+            assert backend.preferred_chunk_size(n) == expected
+        # The point of the advice seam: at 16 qubits the cache-resident
+        # default starves the GEMM stages down to one-row chunks.
+        assert backend.preferred_chunk_size(16) > cache_resident_chunk_size(16)
+        assert backend.preferred_chunk_size(16, batch=4) == 4  # clamped
+
+    def test_compiled_advice_is_batch_wide(self):
+        from repro.quantum.backend.compiled import COMPILED_CHUNK_BUDGET_BYTES
+
+        backend = _chunk_policy_backends()[-1]
+        assert backend.name == "compiled"
+        cap = COMPILED_CHUNK_BUDGET_BYTES // ((1 << 16) * 16)
+        assert backend.preferred_chunk_size(16) == cap
+        assert backend.preferred_chunk_size(16, batch=24) == 24
+        assert backend.preferred_chunk_size(16, batch=10 * cap) == cap
+
+    def test_advice_is_pure_and_positive(self):
+        for backend in _chunk_policy_backends():
+            for n in (4, 12, 16):
+                for batch in (None, 1, 24, 4096):
+                    for layers in (None, 1, 3):
+                        advice = backend.preferred_chunk_size(
+                            n, batch=batch, layers=layers
+                        )
+                        assert isinstance(advice, int) and advice >= 1
+                        assert advice == backend.preferred_chunk_size(
+                            n, batch=batch, layers=layers
+                        )
+
+    def test_engine_consults_backend_advice(self):
+        graph = erdos_renyi(10, 0.4, rng=2)
+        engine = SweepEngine(graph, backend="fused")  # chunk_size=None
+        assert engine.chunk_rows(40, 2) == get_backend(
+            "fused"
+        ).preferred_chunk_size(10, batch=40, layers=2)
+        # An explicit chunk_size pins the width regardless of advice.
+        assert SweepEngine(graph, backend="fused", chunk_size=7).chunk_rows(40, 2) == 7
+        # The numpy default is exactly the historical cache-resident
+        # formula — the advice seam changed nothing for the reference.
+        from repro.qaoa.engine import auto_chunk_size
+
+        engine_np = SweepEngine(graph, backend="numpy")
+        assert engine_np.chunk_rows(40, 2) == min(40, auto_chunk_size(10))
+        # Clamping: advice never exceeds the batch, floor of one row.
+        assert engine.chunk_rows(1, 2) == 1
+        assert engine.chunk_rows(0, 2) == 1
+
+    def test_energies_bit_identical_across_chunk_widths(self):
+        # chunk_size ∈ {1, awkward split, preferred, full batch, advised}:
+        # identical bits, not just ≤1e-12.  Weighted n ≥ 10 cases put the
+        # fused backend on the bucketed-residual path (dim ≥ 1024).
+        rng = np.random.default_rng(21)
+        cases = [
+            (get_backend("numpy"), 11, True),
+            (get_backend("fused"), 10, True),
+            (get_backend("fused"), 11, False),
+            (_chunk_policy_backends()[-1], 8, True),  # compiled (jit or py)
+        ]
+        for backend, n, weighted in cases:
+            graph = erdos_renyi(n, 0.4, weighted=weighted, rng=17)
+            mat = rng.uniform(-np.pi, np.pi, size=(13, 4))
+            reference = SweepEngine(graph, backend=backend, chunk_size=13).energies(mat)
+            preferred = backend.preferred_chunk_size(n, batch=13, layers=2)
+            for width in {1, 3, preferred, 13, None}:
+                engine = SweepEngine(graph, backend=backend, chunk_size=width)
+                np.testing.assert_array_equal(engine.energies(mat), reference)
+
+    def test_statevectors_bit_identical_across_chunk_widths(self):
+        rng = np.random.default_rng(23)
+        for backend in ("numpy", "fused"):
+            graph = erdos_renyi(11, 0.4, weighted=True, rng=19)
+            mat = rng.uniform(-np.pi, np.pi, size=(9, 4))
+            reference = SweepEngine(graph, backend=backend, chunk_size=9).statevectors(
+                mat
+            )
+            for width in (1, 2, 4, None):
+                engine = SweepEngine(graph, backend=backend, chunk_size=width)
+                np.testing.assert_array_equal(engine.statevectors(mat), reference)
 
 
 # ---------------------------------------------------------------------------
